@@ -1,0 +1,274 @@
+// Package aomplib is a Go reproduction of AOmpLib (Medeiros & Sobral,
+// ICPP 2013): an aspect-oriented library of pluggable parallelism modules
+// that mimics the OpenMP standard. Base programs register their externally
+// visible methods as joinpoints; aspect modules — parallel regions, for
+// work-sharing, barriers, critical sections, tasks, thread-local fields,
+// reductions and more — are bound to those joinpoints by pointcut
+// expressions or annotations and woven in (or unplugged) at any time,
+// preserving the base program's sequential semantics.
+//
+// A minimal parallel loop:
+//
+//	prog := aomplib.NewProgram("demo")
+//	cls := prog.Class("Demo")
+//	loop := cls.ForProc("loop", func(lo, hi, step int) {
+//		for i := lo; i < hi; i += step {
+//			work(i)
+//		}
+//	})
+//	run := cls.Proc("run", func() { loop(0, n, 1) })
+//
+//	prog.Use(aomplib.ParallelRegion("call(* Demo.run(..))").Threads(8))
+//	prog.Use(aomplib.ForShare("call(* Demo.loop(..))"))
+//	prog.MustWeave()
+//	run()          // parallel
+//	prog.Unweave()
+//	run()          // sequential again
+//
+// The same composition in the annotation style:
+//
+//	prog.MustAnnotate("Demo.run", aomplib.Parallel{Threads: 8})
+//	prog.MustAnnotate("Demo.loop", aomplib.For{})
+//	prog.Use(aomplib.AnnotationAspects(prog)...)
+//	prog.MustWeave()
+//
+// This package is a thin facade over the implementation packages
+// (internal/weaver, internal/core, internal/rt, internal/sched,
+// internal/pointcut); see DESIGN.md for the architecture and the mapping
+// to the paper.
+package aomplib
+
+import (
+	"aomplib/internal/core"
+	"aomplib/internal/pointcut"
+	"aomplib/internal/rt"
+	"aomplib/internal/sched"
+	"aomplib/internal/weaver"
+)
+
+// ------------------------------------------------ programs & joinpoints --
+
+// Program is a base program's joinpoint registry plus its deployed
+// aspects (the analogue of an AspectJ build).
+type Program = weaver.Program
+
+// Class is a declaring scope for joinpoints, carrying inheritance and
+// interface metadata for pointcut matching.
+type Class = weaver.Class
+
+// Joinpoint identifies one registered method.
+type Joinpoint = weaver.Joinpoint
+
+// Call is the reified invocation flowing through advice chains.
+type Call = weaver.Call
+
+// HandlerFunc is one stage of a woven chain.
+type HandlerFunc = weaver.HandlerFunc
+
+// Advice is one parallelism mechanism applicable to joinpoints.
+type Advice = weaver.Advice
+
+// Aspect is a deployable module of pointcut→advice bindings.
+type Aspect = weaver.Aspect
+
+// Binding attaches advice to the joinpoints selected by a matcher.
+type Binding = weaver.Binding
+
+// Matcher selects joinpoints (pointcuts or exact matchers).
+type Matcher = weaver.Matcher
+
+// SimpleAspect is a convenience aspect for ad-hoc modules.
+type SimpleAspect = weaver.SimpleAspect
+
+// Annotation is the plain-annotation analogue attached via
+// Program.Annotate.
+type Annotation = weaver.Annotation
+
+// WovenMethod describes one method's weave state in reports.
+type WovenMethod = weaver.WovenMethod
+
+// NewProgram creates an empty program registry.
+func NewProgram(name string) *Program { return weaver.NewProgram(name) }
+
+// Implements declares interfaces a class implements (class option).
+var Implements = weaver.Implements
+
+// Extends declares a superclass (class option).
+var Extends = weaver.Extends
+
+// Exact returns a matcher selecting a single joinpoint by identity.
+var Exact = weaver.Exact
+
+// ------------------------------------------------------------ pointcuts --
+
+// Pointcut is a compiled pointcut expression.
+type Pointcut = pointcut.Pointcut
+
+// ParsePointcut compiles a pointcut expression such as
+// "call(* Linpack.reduceAllCols(..)) || within(MD)".
+var ParsePointcut = pointcut.Parse
+
+// MustParsePointcut is ParsePointcut panicking on error.
+var MustParsePointcut = pointcut.MustParse
+
+// ------------------------------------------------------------ schedules --
+
+// Schedule selects a for work-sharing policy.
+type Schedule = sched.Kind
+
+// Work-sharing schedules (paper Table 1: staticBlock, staticCyclic,
+// dynamic; guided and case-specific are the documented extensions).
+const (
+	StaticBlock  = sched.StaticBlock
+	StaticCyclic = sched.StaticCyclic
+	Dynamic      = sched.Dynamic
+	Guided       = sched.Guided
+	CaseSpecific = sched.Custom
+)
+
+// ScheduleFunc is the case-specific schedule extension point.
+type ScheduleFunc = sched.ScheduleFunc
+
+// Space is a loop iteration space (start, end, step).
+type Space = sched.Space
+
+// ------------------------------------------------- aspect constructors --
+
+// ParallelRegion makes matched methods parallel regions (@Parallel).
+var ParallelRegion = core.ParallelRegion
+
+// ForShare applies the for work-sharing construct to matched for methods
+// (@For).
+var ForShare = core.ForShare
+
+// TaskSpawn spawns matched methods as new activities (@Task).
+var TaskSpawn = core.TaskSpawn
+
+// TaskWaitPoint makes matched methods join points for spawned activities
+// (@TaskWait).
+var TaskWaitPoint = core.TaskWaitPoint
+
+// FutureTaskSpawn runs matched value-returning methods asynchronously
+// behind a Future (@FutureTask).
+var FutureTaskSpawn = core.FutureTaskSpawn
+
+// OrderedSection serialises matched keyed methods in iteration order
+// (@Ordered).
+var OrderedSection = core.OrderedSection
+
+// CriticalSection enforces mutual exclusion on matched methods
+// (@Critical).
+var CriticalSection = core.CriticalSection
+
+// BarrierBeforePoint inserts a team barrier before matched methods
+// (@BarrierBefore).
+var BarrierBeforePoint = core.BarrierBeforePoint
+
+// BarrierAfterPoint inserts a team barrier after matched methods
+// (@BarrierAfter).
+var BarrierAfterPoint = core.BarrierAfterPoint
+
+// BarrierAroundPoint inserts barriers on both sides of matched methods.
+var BarrierAroundPoint = core.BarrierAroundPoint
+
+// ReadersWriter builds a readers/writer aspect (@Reader/@Writer).
+var ReadersWriter = core.ReadersWriter
+
+// SingleSection lets one worker execute each encounter (@Single).
+var SingleSection = core.SingleSection
+
+// MasterSection restricts matched methods to the master (@Master).
+var MasterSection = core.MasterSection
+
+// NewThreadLocal makes matched accessors return per-thread values
+// (@ThreadLocalField).
+var NewThreadLocal = core.NewThreadLocal
+
+// ReducePoint merges thread-local copies into the global value at matched
+// methods (@Reduce).
+var ReducePoint = core.ReducePoint
+
+// Around builds a case-specific aspect from a raw advice function.
+var Around = core.Around
+
+// Compose aggregates aspects into one module (combined constructs).
+var Compose = core.Compose
+
+// AnnotationAspects translates a program's annotations into concrete
+// aspects (the annotation style of paper Fig. 5).
+var AnnotationAspects = core.AnnotationAspects
+
+// Aspect types returned by the constructors, for callers that configure
+// them across statements.
+type (
+	// ParallelRegionAspect is ParallelRegion's aspect type.
+	ParallelRegionAspect = core.ParallelRegionAspect
+	// ForAspect is ForShare's aspect type.
+	ForAspect = core.ForAspect
+	// CriticalAspect is CriticalSection's aspect type.
+	CriticalAspect = core.CriticalAspect
+	// ThreadLocalAspect is NewThreadLocal's aspect type.
+	ThreadLocalAspect = core.ThreadLocalAspect
+	// RWAspect is ReadersWriter's aspect type.
+	RWAspect = core.RWAspect
+)
+
+// ----------------------------------------------------------- annotations --
+
+// Annotation types (paper Table 1), attached with Program.Annotate and
+// realised by AnnotationAspects.
+type (
+	// Parallel marks a parallel region — @Parallel[(threads=n)].
+	Parallel = core.Parallel
+	// For marks a for method for work sharing — @For[(schedule=...)].
+	For = core.For
+	// Task spawns the method as a new activity — @Task.
+	Task = core.Task
+	// TaskWait joins spawned activities — @TaskWait.
+	TaskWait = core.TaskWait
+	// FutureTask spawns a value-returning method — @FutureTask.
+	FutureTask = core.FutureTask
+	// Ordered serialises a keyed method in iteration order — @Ordered.
+	Ordered = core.Ordered
+	// Critical enforces mutual exclusion — @Critical[(id=name)].
+	Critical = core.Critical
+	// BarrierBefore inserts a barrier before the method.
+	BarrierBefore = core.BarrierBefore
+	// BarrierAfter inserts a barrier after the method.
+	BarrierAfter = core.BarrierAfter
+	// Reader marks a read access of a readers/writer pair — @Reader.
+	Reader = core.Reader
+	// Writer marks a write access of a readers/writer pair — @Writer.
+	Writer = core.Writer
+	// Single lets one worker execute each encounter — @Single.
+	Single = core.Single
+	// Master restricts execution to the master — @Master.
+	Master = core.Master
+	// ThreadLocalField makes an accessor thread-local — @ThreadLocalField.
+	ThreadLocalField = core.ThreadLocalField
+	// Reduce merges thread-local copies — @Reduce[(id=name)].
+	Reduce = core.Reduce
+)
+
+// --------------------------------------------------------------- runtime --
+
+// Future is the synchronisation object of @FutureTask methods
+// (@FutureResult: Get blocks until the value is produced).
+type Future = rt.Future
+
+// ThreadID returns the caller's id within its team (the paper's
+// getThreadId()), 0 outside parallel regions.
+var ThreadID = core.ThreadID
+
+// NumThreads returns the caller's team size, 1 outside regions.
+var NumThreads = core.NumThreads
+
+// InParallel reports whether the caller is inside a parallel region.
+var InParallel = core.InParallel
+
+// SetDefaultThreads sets the process-wide default team size (0 restores
+// the GOMAXPROCS default); it returns the previous value.
+var SetDefaultThreads = core.SetDefaultThreads
+
+// DefaultThreads returns the effective default team size.
+var DefaultThreads = core.DefaultThreads

@@ -1,0 +1,147 @@
+package aomplib_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"aomplib"
+	"aomplib/internal/jgf/crypt"
+	"aomplib/internal/jgf/harness"
+	"aomplib/internal/jgf/lufact"
+	"aomplib/internal/jgf/moldyn"
+	"aomplib/internal/jgf/montecarlo"
+	"aomplib/internal/jgf/raytracer"
+	"aomplib/internal/jgf/series"
+	"aomplib/internal/jgf/sor"
+	"aomplib/internal/jgf/sparse"
+)
+
+// TestPublicAPIQuickstart runs the README's quickstart through the facade.
+func TestPublicAPIQuickstart(t *testing.T) {
+	prog := aomplib.NewProgram("demo")
+	cls := prog.Class("Demo")
+	const n = 10_000
+	hits := make([]atomic.Int32, n)
+	loop := cls.ForProc("loop", func(lo, hi, step int) {
+		for i := lo; i < hi; i += step {
+			hits[i].Add(1)
+		}
+	})
+	run := cls.Proc("run", func() { loop(0, n, 1) })
+
+	prog.Use(aomplib.ParallelRegion("call(* Demo.run(..))").Threads(4))
+	prog.Use(aomplib.ForShare("call(* Demo.loop(..))"))
+	prog.MustWeave()
+	run()
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("iteration %d ran %d times", i, hits[i].Load())
+		}
+	}
+	// Sequential semantics restored.
+	prog.Unweave()
+	run()
+	for i := range hits {
+		if hits[i].Load() != 2 {
+			t.Fatalf("unwoven iteration %d total %d, want 2", i, hits[i].Load())
+		}
+	}
+}
+
+// TestPublicAPIAnnotationStyle runs the same composition via annotations.
+func TestPublicAPIAnnotationStyle(t *testing.T) {
+	prog := aomplib.NewProgram("demo")
+	cls := prog.Class("Demo")
+	var count atomic.Int32
+	work := cls.Proc("work", func() { count.Add(1) })
+	prog.MustAnnotate("Demo.work", aomplib.Parallel{Threads: 3})
+	prog.Use(aomplib.AnnotationAspects(prog)...)
+	prog.MustWeave()
+	work()
+	if count.Load() != 3 {
+		t.Fatalf("annotated region ran %d times, want 3", count.Load())
+	}
+}
+
+// TestPublicAPIRuntimeHelpers exercises ThreadID/NumThreads/InParallel and
+// the default-threads override through the facade.
+func TestPublicAPIRuntimeHelpers(t *testing.T) {
+	if aomplib.InParallel() || aomplib.ThreadID() != 0 || aomplib.NumThreads() != 1 {
+		t.Fatal("sequential helpers wrong")
+	}
+	prev := aomplib.SetDefaultThreads(2)
+	defer aomplib.SetDefaultThreads(prev)
+	if aomplib.DefaultThreads() != 2 {
+		t.Fatal("SetDefaultThreads not effective")
+	}
+
+	prog := aomplib.NewProgram("demo")
+	var inside atomic.Int32
+	region := prog.Class("D").Proc("r", func() {
+		if aomplib.InParallel() && aomplib.NumThreads() == 2 {
+			inside.Add(1)
+		}
+	})
+	prog.Use(aomplib.ParallelRegion("call(* D.r(..))")) // default threads
+	prog.MustWeave()
+	region()
+	if inside.Load() != 2 {
+		t.Fatalf("helpers saw wrong team: %d", inside.Load())
+	}
+}
+
+// TestSuiteIntegration runs every benchmark's three versions end to end at
+// test size through the harness — the Figure 13 pipeline in miniature —
+// and requires every validation to pass and every speed-up to be sane.
+func TestSuiteIntegration(t *testing.T) {
+	type versions struct {
+		name string
+		seq  harness.Instance
+		mt   harness.Instance
+		aomp harness.Instance
+	}
+	const threads = 2
+	suite := []versions{
+		{"Crypt", crypt.NewSeq(crypt.SizeTest), crypt.NewMT(crypt.SizeTest, threads), crypt.NewAomp(crypt.SizeTest, threads)},
+		{"LUFact", lufact.NewSeq(lufact.SizeTest), lufact.NewMT(lufact.SizeTest, threads), lufact.NewAomp(lufact.SizeTest, threads)},
+		{"Series", series.NewSeq(series.SizeTest), series.NewMT(series.SizeTest, threads), series.NewAomp(series.SizeTest, threads)},
+		{"SOR", sor.NewSeq(sor.SizeTest), sor.NewMT(sor.SizeTest, threads), sor.NewAomp(sor.SizeTest, threads)},
+		{"Sparse", sparse.NewSeq(sparse.SizeTest), sparse.NewMT(sparse.SizeTest, threads), sparse.NewAomp(sparse.SizeTest, threads)},
+		{"MolDyn", moldyn.NewSeq(moldyn.SizeTest), moldyn.NewMT(moldyn.SizeTest, threads), moldyn.NewAomp(moldyn.SizeTest, threads, moldyn.ThreadLocalStrategy)},
+		{"MonteCarlo", montecarlo.NewSeq(montecarlo.SizeTest), montecarlo.NewMT(montecarlo.SizeTest, threads), montecarlo.NewAomp(montecarlo.SizeTest, threads)},
+		{"RayTracer", raytracer.NewSeq(raytracer.SizeTest), raytracer.NewMT(raytracer.SizeTest, threads), raytracer.NewAomp(raytracer.SizeTest, threads)},
+	}
+	table := harness.NewTable()
+	for _, v := range suite {
+		for _, run := range []struct {
+			version harness.Version
+			inst    harness.Instance
+		}{{harness.Seq, v.seq}, {harness.MT, v.mt}, {harness.Aomp, v.aomp}} {
+			m := harness.Measure(v.name, run.version, threads, run.inst, 1)
+			if m.Err != nil {
+				t.Fatalf("%s/%s: %v", v.name, run.version, m.Err)
+			}
+			if m.Seconds <= 0 {
+				t.Fatalf("%s/%s: non-positive time", v.name, run.version)
+			}
+			table.Add(m)
+		}
+	}
+	// Every benchmark must have produced an Aomp/MT delta.
+	if deltas := table.Deltas(threads); len(deltas) != len(suite) {
+		t.Fatalf("deltas incomplete: %v", deltas)
+	}
+}
+
+// TestMolDynStrategiesIntegration runs the Figure 15 variants end to end.
+func TestMolDynStrategiesIntegration(t *testing.T) {
+	p := moldyn.SizeTest
+	for _, s := range []moldyn.Strategy{
+		moldyn.ThreadLocalStrategy, moldyn.CriticalStrategy, moldyn.LockPerParticleStrategy,
+	} {
+		m := harness.Measure("MolDyn", harness.Version(s.String()), 2, moldyn.NewAomp(p, 2, s), 1)
+		if m.Err != nil {
+			t.Fatalf("strategy %v: %v", s, m.Err)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§V), plus the overhead ablations backing §IV's "very low run-time
+// overhead" claim and the design decisions listed in DESIGN.md §6.
+//
+//	go test -bench=Figure13 -benchmem        # Figure 13 (JGF vs Aomp)
+//	go test -bench=Figure15                  # Figure 15 (MolDyn strategies)
+//	go test -bench=Table2                    # Table 2 (weave introspection)
+//	go test -bench=Overhead                  # §IV weaving/runtime overheads
+//	go test -bench=Ablation                  # schedule/barrier ablations
+//
+// Benchmark sizes are scaled for CI (seconds, not minutes); cmd/jgfbench
+// and cmd/moldynstudy run the full paper sizes.
+package aomplib_test
+
+import (
+	"runtime"
+	"testing"
+
+	"aomplib"
+	"aomplib/internal/evolib"
+	"aomplib/internal/graph"
+	"aomplib/internal/jgf/crypt"
+	"aomplib/internal/jgf/harness"
+	"aomplib/internal/jgf/lufact"
+	"aomplib/internal/jgf/moldyn"
+	"aomplib/internal/jgf/montecarlo"
+	"aomplib/internal/jgf/raytracer"
+	"aomplib/internal/jgf/series"
+	"aomplib/internal/jgf/sor"
+	"aomplib/internal/jgf/sparse"
+	"aomplib/internal/rt"
+	"aomplib/internal/sched"
+	"aomplib/internal/weaver"
+)
+
+func threads() int { return runtime.GOMAXPROCS(0) }
+
+// benchInstance measures inst.Kernel with per-iteration Setup excluded.
+func benchInstance(b *testing.B, inst harness.Instance) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		inst.Setup()
+		b.StartTimer()
+		inst.Kernel()
+	}
+	b.StopTimer()
+	if err := inst.Validate(); err != nil {
+		b.Fatalf("validation: %v", err)
+	}
+}
+
+// -------------------------------------------------- Figure 13 (E1) -----
+
+// Bench sizes: large enough that kernels dominate, small enough for CI.
+var (
+	f13Series = series.Params{N: 1500}
+	f13Crypt  = crypt.Params{N: 1_500_000}
+	f13LUFact = lufact.Params{N: 350}
+	f13SOR    = sor.Params{M: 500, N: 500, Iters: 60}
+	f13Sparse = sparse.Params{N: 25_000, NZ: 125_000, Iters: 100}
+	f13MolDyn = moldyn.Params{MM: 7, Moves: 8}
+	f13MC     = montecarlo.Params{Runs: 3_000, Steps: 500}
+	f13RT     = raytracer.Params{Width: 100, Height: 100}
+)
+
+func BenchmarkFigure13_Crypt_Seq(b *testing.B)  { benchInstance(b, crypt.NewSeq(f13Crypt)) }
+func BenchmarkFigure13_Crypt_MT(b *testing.B)   { benchInstance(b, crypt.NewMT(f13Crypt, threads())) }
+func BenchmarkFigure13_Crypt_Aomp(b *testing.B) { benchInstance(b, crypt.NewAomp(f13Crypt, threads())) }
+
+func BenchmarkFigure13_LUFact_Seq(b *testing.B) { benchInstance(b, lufact.NewSeq(f13LUFact)) }
+func BenchmarkFigure13_LUFact_MT(b *testing.B)  { benchInstance(b, lufact.NewMT(f13LUFact, threads())) }
+func BenchmarkFigure13_LUFact_Aomp(b *testing.B) {
+	benchInstance(b, lufact.NewAomp(f13LUFact, threads()))
+}
+
+func BenchmarkFigure13_Series_Seq(b *testing.B) { benchInstance(b, series.NewSeq(f13Series)) }
+func BenchmarkFigure13_Series_MT(b *testing.B)  { benchInstance(b, series.NewMT(f13Series, threads())) }
+func BenchmarkFigure13_Series_Aomp(b *testing.B) {
+	benchInstance(b, series.NewAomp(f13Series, threads()))
+}
+
+func BenchmarkFigure13_SOR_Seq(b *testing.B)  { benchInstance(b, sor.NewSeq(f13SOR)) }
+func BenchmarkFigure13_SOR_MT(b *testing.B)   { benchInstance(b, sor.NewMT(f13SOR, threads())) }
+func BenchmarkFigure13_SOR_Aomp(b *testing.B) { benchInstance(b, sor.NewAomp(f13SOR, threads())) }
+
+func BenchmarkFigure13_Sparse_Seq(b *testing.B) { benchInstance(b, sparse.NewSeq(f13Sparse)) }
+func BenchmarkFigure13_Sparse_MT(b *testing.B)  { benchInstance(b, sparse.NewMT(f13Sparse, threads())) }
+func BenchmarkFigure13_Sparse_Aomp(b *testing.B) {
+	benchInstance(b, sparse.NewAomp(f13Sparse, threads()))
+}
+
+func BenchmarkFigure13_MolDyn_Seq(b *testing.B) { benchInstance(b, moldyn.NewSeq(f13MolDyn)) }
+func BenchmarkFigure13_MolDyn_MT(b *testing.B)  { benchInstance(b, moldyn.NewMT(f13MolDyn, threads())) }
+func BenchmarkFigure13_MolDyn_Aomp(b *testing.B) {
+	benchInstance(b, moldyn.NewAomp(f13MolDyn, threads(), moldyn.ThreadLocalStrategy))
+}
+
+func BenchmarkFigure13_MonteCarlo_Seq(b *testing.B) { benchInstance(b, montecarlo.NewSeq(f13MC)) }
+func BenchmarkFigure13_MonteCarlo_MT(b *testing.B) {
+	benchInstance(b, montecarlo.NewMT(f13MC, threads()))
+}
+func BenchmarkFigure13_MonteCarlo_Aomp(b *testing.B) {
+	benchInstance(b, montecarlo.NewAomp(f13MC, threads()))
+}
+
+func BenchmarkFigure13_RayTracer_Seq(b *testing.B) { benchInstance(b, raytracer.NewSeq(f13RT)) }
+func BenchmarkFigure13_RayTracer_MT(b *testing.B) {
+	benchInstance(b, raytracer.NewMT(f13RT, threads()))
+}
+func BenchmarkFigure13_RayTracer_Aomp(b *testing.B) {
+	benchInstance(b, raytracer.NewAomp(f13RT, threads()))
+}
+
+// -------------------------------------------------- Figure 15 (E3) -----
+
+func benchMolDynStrategy(b *testing.B, mm int, s moldyn.Strategy) {
+	benchInstance(b, moldyn.NewAomp(moldyn.Params{MM: mm, Moves: 5}, threads(), s))
+}
+
+func BenchmarkFigure15_MolDyn_Critical_864(b *testing.B) {
+	benchMolDynStrategy(b, 6, moldyn.CriticalStrategy)
+}
+func BenchmarkFigure15_MolDyn_Locks_864(b *testing.B) {
+	benchMolDynStrategy(b, 6, moldyn.LockPerParticleStrategy)
+}
+func BenchmarkFigure15_MolDyn_ThreadLocal_864(b *testing.B) {
+	benchMolDynStrategy(b, 6, moldyn.ThreadLocalStrategy)
+}
+func BenchmarkFigure15_MolDyn_JGF_864(b *testing.B) {
+	benchInstance(b, moldyn.NewMT(moldyn.Params{MM: 6, Moves: 5}, threads()))
+}
+func BenchmarkFigure15_MolDyn_Critical_2048(b *testing.B) {
+	benchMolDynStrategy(b, 8, moldyn.CriticalStrategy)
+}
+func BenchmarkFigure15_MolDyn_Locks_2048(b *testing.B) {
+	benchMolDynStrategy(b, 8, moldyn.LockPerParticleStrategy)
+}
+func BenchmarkFigure15_MolDyn_ThreadLocal_2048(b *testing.B) {
+	benchMolDynStrategy(b, 8, moldyn.ThreadLocalStrategy)
+}
+func BenchmarkFigure15_MolDyn_JGF_2048(b *testing.B) {
+	benchInstance(b, moldyn.NewMT(moldyn.Params{MM: 8, Moves: 5}, threads()))
+}
+
+// ---------------------------------------------------- Table 2 (E2) -----
+
+// BenchmarkTable2_WeaveIntrospection measures building + weaving + report
+// generation for a full benchmark program (the Table 2 pipeline), showing
+// weaving itself is cheap enough to do at load time.
+func BenchmarkTable2_WeaveIntrospection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		inst := lufact.NewAomp(lufact.SizeTest, 2)
+		inst.Setup()
+		rep := inst.(interface{ WeaveReport() []weaver.WovenMethod }).WeaveReport()
+		if len(rep) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// ------------------------------------------------- §IV overheads (E4) --
+
+// BenchmarkOverhead_DirectCall is the baseline: a plain closure call.
+func BenchmarkOverhead_DirectCall(b *testing.B) {
+	var sink int
+	f := func() { sink++ }
+	for i := 0; i < b.N; i++ {
+		f()
+	}
+	_ = sink
+}
+
+// BenchmarkOverhead_UnwovenMethod measures a registered but unadvised
+// method — the cost of keeping sequential semantics available.
+func BenchmarkOverhead_UnwovenMethod(b *testing.B) {
+	p := aomplib.NewProgram("bench")
+	var sink int
+	f := p.Class("A").Proc("m", func() { sink++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f()
+	}
+	_ = sink
+}
+
+// BenchmarkOverhead_WovenNoWorker measures a woven method whose advice
+// does not need the worker context (e.g. critical sections).
+func BenchmarkOverhead_WovenNoWorker(b *testing.B) {
+	p := aomplib.NewProgram("bench")
+	var sink int
+	f := p.Class("A").Proc("m", func() { sink++ })
+	p.Use(aomplib.CriticalSection("call(* A.m(..))"))
+	p.MustWeave()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f()
+	}
+	_ = sink
+}
+
+// BenchmarkOverhead_WorkerLookupInRegion measures the goroutine-identity
+// resolution that worker-dependent advice pays per call inside a region —
+// the substitution cost for Java's JIT-inlined ThreadLocal (see
+// EXPERIMENTS.md, LUFact deviation).
+func BenchmarkOverhead_WorkerLookupInRegion(b *testing.B) {
+	rt.Region(1, func(w *rt.Worker) {
+		for i := 0; i < b.N; i++ {
+			if rt.Current() != w {
+				b.Fatal("wrong worker")
+			}
+		}
+	})
+}
+
+// BenchmarkOverhead_RegionEntry measures team spawn+join (paper Fig. 9).
+func BenchmarkOverhead_RegionEntry(b *testing.B) {
+	p := aomplib.NewProgram("bench")
+	f := p.Class("A").Proc("m", func() {})
+	p.Use(aomplib.ParallelRegion("call(* A.m(..))").Threads(threads()))
+	p.MustWeave()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f()
+	}
+}
+
+// BenchmarkOverhead_PointcutMatch measures pointcut evaluation (weave-time
+// cost only; never paid at run time).
+func BenchmarkOverhead_PointcutMatch(b *testing.B) {
+	pc := aomplib.MustParsePointcut("call(void Linpack.interchange(..)) || call(void Linpack.dscal(..))")
+	p := aomplib.NewProgram("bench")
+	p.Class("Linpack").Proc("dscal", func() {})
+	jp := p.Method("Linpack.dscal").JP()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc.Matches(jp)
+	}
+}
+
+// ------------------------------------------------ ablations (DESIGN §6) --
+
+// imbalancedLoop builds a region+for program over a triangular workload
+// (cost of iteration i proportional to n-i), the shape of LUFact's
+// elimination and MolDyn's force rows.
+func benchScheduleAblation(b *testing.B, kind sched.Kind, chunk int) {
+	const n = 2048
+	p := aomplib.NewProgram("bench")
+	var sink float64
+	loop := p.Class("A").ForProc("loop", func(lo, hi, step int) {
+		local := 0.0
+		for i := lo; i < hi; i += step {
+			for j := i; j < n; j++ {
+				local += float64(j)
+			}
+		}
+		_ = local
+	})
+	run := p.Class("A").Proc("run", func() { loop(0, n, 1) })
+	p.Use(aomplib.ParallelRegion("call(* A.run(..))").Threads(threads()))
+	p.Use(aomplib.ForShare("call(* A.loop(..))").Schedule(kind).Chunk(chunk))
+	p.MustWeave()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	_ = sink
+}
+
+func BenchmarkAblation_Schedule_StaticBlock(b *testing.B) {
+	benchScheduleAblation(b, sched.StaticBlock, 0)
+}
+func BenchmarkAblation_Schedule_StaticCyclic(b *testing.B) {
+	benchScheduleAblation(b, sched.StaticCyclic, 0)
+}
+func BenchmarkAblation_Schedule_Dynamic16(b *testing.B) {
+	benchScheduleAblation(b, sched.Dynamic, 16)
+}
+func BenchmarkAblation_Schedule_Guided(b *testing.B) {
+	benchScheduleAblation(b, sched.Guided, 1)
+}
+
+// BenchmarkAblation_Barrier measures the team barrier round trip.
+func BenchmarkAblation_Barrier(b *testing.B) {
+	rt.Region(threads(), func(w *rt.Worker) {
+		for i := 0; i < b.N; i++ {
+			w.Team.Barrier().Wait()
+		}
+	})
+}
+
+// BenchmarkAblation_ConstructInstance measures the per-encounter
+// bookkeeping of work-sharing constructs.
+func BenchmarkAblation_ConstructInstance(b *testing.B) {
+	rt.Region(2, func(w *rt.Worker) {
+		sp := sched.Space{Lo: 0, Hi: 100, Step: 1}
+		for i := 0; i < b.N; i++ {
+			fc := rt.BeginFor(w, "bench", sp, sched.StaticBlock, 1)
+			fc.EndFor()
+		}
+	})
+}
+
+// ----------------------------------------- §VII extensions (E7/E8) -----
+
+// BenchmarkExtension_PageRank_* compares schedules on the skewed
+// power-law graph — the irregular-algorithm study of the paper's current
+// work, where dynamic/guided should beat static block.
+func benchPageRank(b *testing.B, kind sched.Kind, chunk int) {
+	g := graph.NewPowerLaw(20_000, 10, 2013)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		pr := graph.NewPageRank(g, 0.85, 10)
+		run, _ := graph.BuildAomp(pr, threads(), kind, chunk)
+		b.StartTimer()
+		run()
+	}
+}
+
+func BenchmarkExtension_PageRank_StaticBlock(b *testing.B) {
+	benchPageRank(b, sched.StaticBlock, 0)
+}
+func BenchmarkExtension_PageRank_Dynamic(b *testing.B) {
+	benchPageRank(b, sched.Dynamic, 64)
+}
+func BenchmarkExtension_PageRank_Guided(b *testing.B) {
+	benchPageRank(b, sched.Guided, 16)
+}
+
+// BenchmarkExtension_Evolution measures one aspect-woven GA run (JECoLi
+// case study).
+func BenchmarkExtension_Evolution(b *testing.B) {
+	cfg := evolib.Config{
+		PopSize: 120, GenomeLen: 16, Generations: 10,
+		TournamentK: 3, CrossoverRate: 0.9,
+		MutationRate: 0.08, MutationSigma: 0.25, Elite: 4,
+		Seed: 7, LowerBound: -5.12, UpperBound: 5.12,
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ga, err := evolib.New(cfg, evolib.Rastrigin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run, _ := evolib.BuildAomp(ga, threads())
+		b.StartTimer()
+		run()
+	}
+}

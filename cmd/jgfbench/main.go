@@ -1,0 +1,160 @@
+// Command jgfbench regenerates the paper's Figure 13: speed-ups of the
+// hand-threaded JGF versions and the AOmpLib versions over the sequential
+// base programs, across all eight Java Grande benchmarks, plus the
+// Aomp-vs-MT relative difference backing the "less than 1%" claim (§V).
+//
+// Usage:
+//
+//	go run ./cmd/jgfbench -size=test -threads=1,2 -reps=3
+//	go run ./cmd/jgfbench -size=A -threads=2 -only=crypt,moldyn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aomplib/internal/jgf/crypt"
+	"aomplib/internal/jgf/harness"
+	"aomplib/internal/jgf/lufact"
+	"aomplib/internal/jgf/moldyn"
+	"aomplib/internal/jgf/montecarlo"
+	"aomplib/internal/jgf/raytracer"
+	"aomplib/internal/jgf/series"
+	"aomplib/internal/jgf/sor"
+	"aomplib/internal/jgf/sparse"
+)
+
+type bench struct {
+	name string
+	seq  func() harness.Instance
+	mt   func(threads int) harness.Instance
+	aomp func(threads int) harness.Instance
+}
+
+func suite(size string) []bench {
+	pick := func(test, a, b any) any {
+		switch size {
+		case "A":
+			return a
+		case "B":
+			return b
+		default:
+			return test
+		}
+	}
+	sp := pick(series.SizeTest, series.SizeA, series.SizeB).(series.Params)
+	cp := pick(crypt.SizeTest, crypt.SizeA, crypt.SizeB).(crypt.Params)
+	lp := pick(lufact.SizeTest, lufact.SizeA, lufact.SizeB).(lufact.Params)
+	op := pick(sor.SizeTest, sor.SizeA, sor.SizeB).(sor.Params)
+	pp := pick(sparse.SizeTest, sparse.SizeA, sparse.SizeB).(sparse.Params)
+	mp := pick(moldyn.SizeTest, moldyn.SizeA, moldyn.SizeB).(moldyn.Params)
+	qp := pick(montecarlo.SizeTest, montecarlo.SizeA, montecarlo.SizeB).(montecarlo.Params)
+	rp := pick(raytracer.SizeTest, raytracer.SizeA, raytracer.SizeB).(raytracer.Params)
+
+	return []bench{
+		{"Crypt", func() harness.Instance { return crypt.NewSeq(cp) },
+			func(t int) harness.Instance { return crypt.NewMT(cp, t) },
+			func(t int) harness.Instance { return crypt.NewAomp(cp, t) }},
+		{"LUFact", func() harness.Instance { return lufact.NewSeq(lp) },
+			func(t int) harness.Instance { return lufact.NewMT(lp, t) },
+			func(t int) harness.Instance { return lufact.NewAomp(lp, t) }},
+		{"Series", func() harness.Instance { return series.NewSeq(sp) },
+			func(t int) harness.Instance { return series.NewMT(sp, t) },
+			func(t int) harness.Instance { return series.NewAomp(sp, t) }},
+		{"SOR", func() harness.Instance { return sor.NewSeq(op) },
+			func(t int) harness.Instance { return sor.NewMT(op, t) },
+			func(t int) harness.Instance { return sor.NewAomp(op, t) }},
+		{"Sparse", func() harness.Instance { return sparse.NewSeq(pp) },
+			func(t int) harness.Instance { return sparse.NewMT(pp, t) },
+			func(t int) harness.Instance { return sparse.NewAomp(pp, t) }},
+		{"MolDyn", func() harness.Instance { return moldyn.NewSeq(mp) },
+			func(t int) harness.Instance { return moldyn.NewMT(mp, t) },
+			func(t int) harness.Instance { return moldyn.NewAomp(mp, t, moldyn.ThreadLocalStrategy) }},
+		{"MonteCarlo", func() harness.Instance { return montecarlo.NewSeq(qp) },
+			func(t int) harness.Instance { return montecarlo.NewMT(qp, t) },
+			func(t int) harness.Instance { return montecarlo.NewAomp(qp, t) }},
+		{"RayTracer", func() harness.Instance { return raytracer.NewSeq(rp) },
+			func(t int) harness.Instance { return raytracer.NewMT(rp, t) },
+			func(t int) harness.Instance { return raytracer.NewAomp(rp, t) }},
+	}
+}
+
+func parseThreads(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "jgfbench: bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func main() {
+	size := flag.String("size", "test", "problem size: test, A or B")
+	threadsFlag := flag.String("threads", fmt.Sprintf("1,%d", runtime.GOMAXPROCS(0)),
+		"comma-separated team sizes")
+	reps := flag.Int("reps", 3, "kernel repetitions (fastest kept)")
+	only := flag.String("only", "", "comma-separated benchmark filter (e.g. crypt,moldyn)")
+	flag.Parse()
+
+	threads := parseThreads(*threadsFlag)
+	filter := map[string]bool{}
+	for _, f := range strings.Split(*only, ",") {
+		if f = strings.TrimSpace(strings.ToLower(f)); f != "" {
+			filter[f] = true
+		}
+	}
+
+	table := harness.NewTable()
+	failures := 0
+	for _, b := range suite(*size) {
+		if len(filter) > 0 && !filter[strings.ToLower(b.name)] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s (seq)...\n", b.name)
+		table.Add(record(&failures, harness.Measure(b.name, harness.Seq, 1, b.seq(), *reps)))
+		for _, t := range threads {
+			fmt.Fprintf(os.Stderr, "running %s (MT, %d threads)...\n", b.name, t)
+			table.Add(record(&failures, harness.Measure(b.name, harness.MT, t, b.mt(t), *reps)))
+			fmt.Fprintf(os.Stderr, "running %s (Aomp, %d threads)...\n", b.name, t)
+			table.Add(record(&failures, harness.Measure(b.name, harness.Aomp, t, b.aomp(t), *reps)))
+		}
+	}
+
+	fmt.Printf("\nFigure 13 — speed-up over sequential (size %s, GOMAXPROCS=%d)\n\n",
+		*size, runtime.GOMAXPROCS(0))
+	table.Render(os.Stdout)
+
+	fmt.Printf("\nAomp vs JGF-MT relative time difference (paper: < 1%%):\n")
+	for _, t := range threads {
+		deltas := table.Deltas(t)
+		var names []string
+		for n := range deltas {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-12s %2d threads: %+6.2f%%\n", n, t, deltas[n]*100)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "jgfbench: %d validation failures\n", failures)
+		os.Exit(1)
+	}
+}
+
+func record(failures *int, m harness.Measurement) harness.Measurement {
+	if m.Err != nil {
+		fmt.Fprintf(os.Stderr, "VALIDATION FAILURE %s/%s: %v\n", m.Benchmark, m.Version, m.Err)
+		*failures++
+	}
+	return m
+}

@@ -1,0 +1,80 @@
+// Command weavedump prints the woven structure of a benchmark's AOmpLib
+// version — every joinpoint with its annotations and the advice chain
+// applied to it, outermost first. It is the analogue of the AspectJ
+// compiler's weave-info messages and is the quickest way to see what a
+// given aspect composition actually does.
+//
+// Usage:
+//
+//	go run ./cmd/weavedump            # all benchmarks
+//	go run ./cmd/weavedump -only=lufact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"aomplib/internal/jgf/crypt"
+	"aomplib/internal/jgf/harness"
+	"aomplib/internal/jgf/lufact"
+	"aomplib/internal/jgf/moldyn"
+	"aomplib/internal/jgf/montecarlo"
+	"aomplib/internal/jgf/raytracer"
+	"aomplib/internal/jgf/series"
+	"aomplib/internal/jgf/sor"
+	"aomplib/internal/jgf/sparse"
+	"aomplib/internal/weaver"
+)
+
+type weaveReporter interface {
+	harness.Instance
+	WeaveReport() []weaver.WovenMethod
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated benchmark filter")
+	flag.Parse()
+	filter := map[string]bool{}
+	for _, f := range strings.Split(*only, ",") {
+		if f = strings.TrimSpace(strings.ToLower(f)); f != "" {
+			filter[f] = true
+		}
+	}
+
+	benchmarks := []struct {
+		name string
+		inst weaveReporter
+	}{
+		{"Crypt", crypt.NewAomp(crypt.SizeTest, 2).(weaveReporter)},
+		{"LUFact", lufact.NewAomp(lufact.SizeTest, 2).(weaveReporter)},
+		{"Series", series.NewAomp(series.SizeTest, 2).(weaveReporter)},
+		{"SOR", sor.NewAomp(sor.SizeTest, 2).(weaveReporter)},
+		{"Sparse", sparse.NewAomp(sparse.SizeTest, 2).(weaveReporter)},
+		{"MolDyn", moldyn.NewAomp(moldyn.SizeTest, 2, moldyn.ThreadLocalStrategy).(weaveReporter)},
+		{"MonteCarlo", montecarlo.NewAomp(montecarlo.SizeTest, 2).(weaveReporter)},
+		{"RayTracer", raytracer.NewAomp(raytracer.SizeTest, 2).(weaveReporter)},
+	}
+	for _, b := range benchmarks {
+		if len(filter) > 0 && !filter[strings.ToLower(b.name)] {
+			continue
+		}
+		b.inst.Setup()
+		fmt.Printf("=== %s ===\n", b.name)
+		for _, wm := range b.inst.WeaveReport() {
+			fmt.Printf("  %-28s [%s]", wm.FQN, wm.Kind)
+			if len(wm.Annotations) > 0 {
+				fmt.Printf(" @%s", strings.Join(wm.Annotations, " @"))
+			}
+			fmt.Println()
+			if len(wm.Advice) == 0 {
+				fmt.Println("      (unadvised — direct call)")
+				continue
+			}
+			for i, adv := range wm.Advice {
+				fmt.Printf("      %s%s\n", strings.Repeat("  ", i), adv)
+			}
+		}
+		fmt.Println()
+	}
+}

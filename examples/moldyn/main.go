@@ -1,0 +1,80 @@
+// MolDyn strategies: the paper's §V experiment in miniature (Figure 15).
+//
+// One molecular dynamics base program; three dependence-management
+// strategies for the symmetric force updates, each plugged in as aspects
+// without modifying the base: thread-local force buffers with reduction
+// (the JGF approach), a critical region on the force update, and one lock
+// per particle. The program runs all of them, checks they agree with the
+// sequential simulation, and prints their timings.
+//
+// Run with:
+//
+//	go run ./examples/moldyn            # 864 particles
+//	go run ./examples/moldyn -mm=8      # 2048 particles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"aomplib/internal/jgf/harness"
+	"aomplib/internal/jgf/moldyn"
+)
+
+func main() {
+	mm := flag.Int("mm", 6, "FCC lattice size (particles = 4·mm³)")
+	moves := flag.Int("moves", 10, "time steps")
+	flag.Parse()
+
+	p := moldyn.Params{MM: *mm, Moves: *moves}
+	threads := runtime.GOMAXPROCS(0)
+	fmt.Printf("MolDyn: %d particles, %d steps, %d threads\n\n", p.N(), p.Moves, threads)
+
+	type result struct {
+		ekin, epot float64
+		seconds    float64
+	}
+	run := func(name string, inst harness.Instance) result {
+		start := time.Now()
+		inst.Setup()
+		inst.Kernel()
+		secs := time.Since(start).Seconds()
+		if err := inst.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed validation: %v\n", name, err)
+			os.Exit(1)
+		}
+		e := inst.(interface {
+			Energies() (float64, float64, float64)
+		})
+		ekin, epot, _ := e.Energies()
+		fmt.Printf("%-22s ekin %.8f  epot %.8f  in %6.3fs\n", name, ekin, epot, secs)
+		return result{ekin, epot, secs}
+	}
+
+	seq := run("sequential", moldyn.NewSeq(p))
+	variants := map[string]harness.Instance{
+		"aspects: ThreadLocal": moldyn.NewAomp(p, threads, moldyn.ThreadLocalStrategy),
+		"aspects: Critical":    moldyn.NewAomp(p, threads, moldyn.CriticalStrategy),
+		"aspects: Locks":       moldyn.NewAomp(p, threads, moldyn.LockPerParticleStrategy),
+	}
+	ok := true
+	for _, name := range []string{"aspects: ThreadLocal", "aspects: Critical", "aspects: Locks"} {
+		r := run(name, variants[name])
+		if math.Abs(r.ekin-seq.ekin) > 1e-9*math.Abs(seq.ekin) ||
+			math.Abs(r.epot-seq.epot) > 1e-9*math.Abs(seq.epot) {
+			fmt.Fprintf(os.Stderr, "%s diverged from the sequential simulation\n", name)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Println("\nall strategies reproduce the sequential physics —")
+		fmt.Println("\"multiple parallelisation approaches can be experimented")
+		fmt.Println(" without modifying the base program\" (paper §V)")
+	} else {
+		os.Exit(1)
+	}
+}

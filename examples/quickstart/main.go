@@ -1,0 +1,86 @@
+// Quickstart: estimate π by numerical integration with AOmpLib.
+//
+// The base program is plain sequential Go: a for method integrating
+// 4/(1+x²) over [0,1] into an accumulator field. Parallelism is plugged in
+// afterwards: a parallel region, block work-sharing, a thread-local
+// accumulator and a reduction — without touching the base logic. The
+// program runs the same computation three ways (sequential, woven,
+// unwoven again) to demonstrate that aspects can be (un)plugged at any
+// time while preserving sequential semantics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"aomplib"
+)
+
+const steps = 50_000_000
+
+// piProgram is the base program: note there is no parallelism-related
+// code anywhere in it. The accumulator is read through an accessor
+// joinpoint so the thread-local aspect can substitute a per-thread cell
+// (the @ThreadLocalField seam); sequentially it is simply the field.
+type piProgram struct {
+	sum float64
+}
+
+func main() {
+	base := &piProgram{}
+	prog := aomplib.NewProgram("quickstart")
+	cls := prog.Class("Pi")
+
+	acc := cls.ValueProc("acc", func() any { return &base.sum })
+	integrate := cls.ForProc("integrate", func(lo, hi, step int) {
+		cell := acc().(*float64)
+		h := 1.0 / float64(steps)
+		local := 0.0
+		for i := lo; i < hi; i += step {
+			x := (float64(i) + 0.5) * h
+			local += 4 / (1 + x*x)
+		}
+		*cell += local * h
+	})
+	collect := cls.Proc("collect", func() {})
+	run := cls.Proc("run", func() {
+		integrate(0, steps, 1)
+		collect()
+	})
+
+	compute := func(label string) {
+		base.sum = 0
+		start := time.Now()
+		run()
+		fmt.Printf("%-28s pi ≈ %.12f  (err %.2e)  in %v\n",
+			label, base.sum, math.Abs(base.sum-math.Pi), time.Since(start).Round(time.Millisecond))
+	}
+
+	// 1. Sequential semantics: nothing woven yet.
+	compute("sequential (unwoven)")
+
+	// 2. Plug in the parallelism aspects.
+	threads := runtime.GOMAXPROCS(0)
+	sumTL := aomplib.NewThreadLocal("call(* Pi.acc(..))", "sum").
+		InitFresh(func() any { return new(float64) })
+	prog.Use(
+		aomplib.ParallelRegion("call(* Pi.run(..))").Threads(threads),
+		aomplib.ForShare("call(* Pi.integrate(..))"), // staticBlock default
+		sumTL,
+		aomplib.ReducePoint("call(* Pi.collect(..))", sumTL, func(local any) {
+			base.sum += *(local.(*float64))
+		}),
+	)
+	prog.MustWeave()
+	compute(fmt.Sprintf("parallel (%d threads)", threads))
+
+	// 3. Unplug everything: the original program is back.
+	prog.Unweave()
+	compute("sequential again (unwoven)")
+}

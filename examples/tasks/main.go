@@ -1,0 +1,59 @@
+// Tasks and futures: the @Task/@TaskWait/@FutureTask constructs.
+//
+// A tiny build pipeline: independent "compile units" are annotated @Task
+// so each call spawns an activity; the "link" step is a @TaskWait join
+// point; a checksum "report" runs as a @FutureTask whose Future getter is
+// the @FutureResult synchronisation point. Unplugging the aspects runs
+// the identical program sequentially.
+//
+// Run with:
+//
+//	go run ./examples/tasks
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"aomplib"
+)
+
+func main() {
+	prog := aomplib.NewProgram("pipeline")
+	cls := prog.Class("Build")
+
+	var compiled atomic.Int64
+	compile := cls.KeyedProc("compile", func(unit int) {
+		// Simulate uneven compile times.
+		time.Sleep(time.Duration(5+unit%3*5) * time.Millisecond)
+		compiled.Add(1)
+	})
+	link := cls.Proc("link", func() {
+		fmt.Printf("link: %d units compiled\n", compiled.Load())
+	})
+	report := cls.FutureProc("report", func() any {
+		return fmt.Sprintf("artifact-%04d", compiled.Load()*37%9973)
+	})
+
+	build := func(label string) {
+		compiled.Store(0)
+		start := time.Now()
+		for unit := 0; unit < 8; unit++ {
+			compile(unit) // @Task: returns immediately when woven
+		}
+		link() // @TaskWait: joins all spawned compiles first
+		fut := report()
+		fmt.Printf("%s: %v in %v\n\n", label, fut.Get(), time.Since(start).Round(time.Millisecond))
+	}
+
+	// Sequential semantics first.
+	build("sequential (unwoven)")
+
+	prog.MustAnnotate("Build.compile", aomplib.Task{})
+	prog.MustAnnotate("Build.link", aomplib.TaskWait{})
+	prog.MustAnnotate("Build.report", aomplib.FutureTask{})
+	prog.Use(aomplib.AnnotationAspects(prog)...)
+	prog.MustWeave()
+	build("tasked (woven)")
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"aomplib/internal/rt"
+	"aomplib/internal/sched"
+	"aomplib/internal/weaver"
+)
+
+// ForAspect applies the for work-sharing construct to for methods
+// (methods exposing the loop iteration space in their first three int
+// parameters): each team worker executes a rewritten iteration range
+// according to the schedule (paper §III.C, Figs. 10-11).
+//
+// Outside a parallel region the method runs its full range — sequential
+// semantics are preserved when the enclosing region aspect is unplugged.
+type ForAspect struct {
+	name    string
+	matcher weaver.Matcher
+	kind    sched.Kind
+	chunk   int
+	custom  sched.ScheduleFunc
+	wait    *bool // explicit barrier override; nil = schedule default
+}
+
+// ForShare binds the for construct to the for methods selected by pc.
+// The default schedule is static by blocks, as in OpenMP.
+func ForShare(pc string) *ForAspect { return newForShare(mustPC(pc)) }
+
+func newForShare(m weaver.Matcher) *ForAspect {
+	return &ForAspect{name: "For", matcher: m, kind: sched.StaticBlock}
+}
+
+// Named renames the aspect module.
+func (a *ForAspect) Named(name string) *ForAspect { a.name = name; return a }
+
+// Schedule selects the scheduling policy — @For(schedule=...).
+func (a *ForAspect) Schedule(k sched.Kind) *ForAspect { a.kind = k; return a }
+
+// Chunk sets the chunk size for dynamic/guided schedules (default 1,
+// "for simplicity the chunk size was defined as one").
+func (a *ForAspect) Chunk(n int) *ForAspect { a.chunk = n; return a }
+
+// CustomSchedule installs a case-specific schedule (Table 2: the Sparse
+// benchmark's nonzero-balanced partition is one).
+func (a *ForAspect) CustomSchedule(fn sched.ScheduleFunc) *ForAspect {
+	a.kind = sched.Custom
+	a.custom = fn
+	return a
+}
+
+// NoWait suppresses the implicit end-of-construct barrier that dynamic and
+// guided schedules otherwise perform (paper Fig. 11: "Each thread, after
+// finishing its work, will call a barrier").
+func (a *ForAspect) NoWait() *ForAspect { f := false; a.wait = &f; return a }
+
+// Wait forces an end-of-construct barrier for static schedules as well.
+func (a *ForAspect) Wait() *ForAspect { tr := true; a.wait = &tr; return a }
+
+func (a *ForAspect) implicitBarrier() bool {
+	if a.wait != nil {
+		return *a.wait
+	}
+	return a.kind == sched.Dynamic || a.kind == sched.Guided
+}
+
+// AspectName implements weaver.Aspect.
+func (a *ForAspect) AspectName() string { return a.name }
+
+// Bindings implements weaver.Aspect.
+func (a *ForAspect) Bindings() []weaver.Binding {
+	adv := advice{
+		name:        fmt.Sprintf("for(%s)", a.kind),
+		prec:        PrecFor,
+		needsWorker: true,
+		validate: func(jp *weaver.Joinpoint) error {
+			if jp.Kind() != weaver.ForKind {
+				return fmt.Errorf("@For requires a for method (start,end,step), got %s %s", jp.Kind(), jp.FQN())
+			}
+			if a.kind == sched.Custom && a.custom == nil {
+				return fmt.Errorf("@For custom schedule on %s has no ScheduleFunc", jp.FQN())
+			}
+			return nil
+		},
+		wrap: func(jp *weaver.Joinpoint, next weaver.HandlerFunc) weaver.HandlerFunc {
+			runSub := func(c *weaver.Call, sub sched.Space) {
+				if sub.Count() == 0 {
+					return
+				}
+				sc := *c
+				sc.Lo, sc.Hi, sc.Step = sub.Lo, sub.Hi, sub.Step
+				next(&sc)
+			}
+			return func(c *weaver.Call) {
+				w := c.Worker
+				if w == nil {
+					next(c) // sequential semantics: full range
+					return
+				}
+				sp := sched.Space{Lo: c.Lo, Hi: c.Hi, Step: c.Step}
+				fc := rt.BeginFor(w, a, sp, a.kind, a.chunk)
+				switch a.kind {
+				case sched.StaticBlock:
+					runSub(c, sched.Block(sp, w.Team.Size, w.ID))
+				case sched.StaticCyclic:
+					runSub(c, sched.Cyclic(sp, w.Team.Size, w.ID))
+				case sched.Custom:
+					for _, sub := range a.custom(w.ID, w.Team.Size, sp) {
+						runSub(c, sub)
+					}
+				default: // Dynamic, Guided
+					for {
+						sub, ok := fc.Dispense()
+						if !ok {
+							break
+						}
+						runSub(c, sub)
+					}
+				}
+				fc.EndFor()
+				if a.implicitBarrier() {
+					w.Team.Barrier().Wait()
+				}
+			}
+		},
+	}
+	return []weaver.Binding{{Matcher: a.matcher, Advice: adv}}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"aomplib/internal/rt"
+	"aomplib/internal/weaver"
+)
+
+// ParallelRegionAspect makes every matched method a parallel region: the
+// caller becomes the master of a new team whose workers all execute the
+// method body, with an implicit join at the end (paper §III.A and Fig. 9).
+// It is the analogue of extending the abstract aspect ParallelRegion and
+// defining its parallelMethod() pointcut (paper Fig. 4).
+type ParallelRegionAspect struct {
+	name      string
+	matcher   weaver.Matcher
+	threads   int
+	threadsFn func() int
+}
+
+// ParallelRegion binds a parallel region to the methods selected by the
+// pointcut expression pc.
+func ParallelRegion(pc string) *ParallelRegionAspect {
+	return newParallelRegion(mustPC(pc))
+}
+
+func newParallelRegion(m weaver.Matcher) *ParallelRegionAspect {
+	return &ParallelRegionAspect{name: "ParallelRegion", matcher: m}
+}
+
+// Named renames the aspect module for reports and removal.
+func (a *ParallelRegionAspect) Named(name string) *ParallelRegionAspect {
+	a.name = name
+	return a
+}
+
+// Threads fixes the team size — the analogue of @Parallel(threads=n).
+func (a *ParallelRegionAspect) Threads(n int) *ParallelRegionAspect {
+	a.threads = n
+	return a
+}
+
+// ThreadsFunc derives the team size at region entry — the analogue of
+// overriding int numThreads() in a concrete aspect.
+func (a *ParallelRegionAspect) ThreadsFunc(fn func() int) *ParallelRegionAspect {
+	a.threadsFn = fn
+	return a
+}
+
+// AspectName implements weaver.Aspect.
+func (a *ParallelRegionAspect) AspectName() string { return a.name }
+
+// Bindings implements weaver.Aspect.
+func (a *ParallelRegionAspect) Bindings() []weaver.Binding {
+	adv := advice{
+		name: "parallel",
+		prec: PrecParallel,
+		wrap: func(jp *weaver.Joinpoint, next weaver.HandlerFunc) weaver.HandlerFunc {
+			return func(c *weaver.Call) {
+				n := a.threads
+				if a.threadsFn != nil {
+					n = a.threadsFn()
+				}
+				if n <= 0 {
+					n = DefaultThreads()
+				}
+				// Each worker runs the body on its own copy of the Call so
+				// range rewrites and results stay private (Fig. 9: every
+				// thread, master included, "proceeds"). The copy source is
+				// snapshotted before the team starts so the master's result
+				// write cannot race with worker copies.
+				template := *c
+				rt.Region(n, func(w *rt.Worker) {
+					wc := template
+					wc.Worker = w
+					next(&wc)
+					if w.ID == 0 {
+						c.Ret = wc.Ret // master's result is the region's result
+					}
+				})
+			}
+		},
+	}
+	return []weaver.Binding{{Matcher: a.matcher, Advice: adv}}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"aomplib/internal/rt"
+	"aomplib/internal/weaver"
+)
+
+// TaskAspect spawns a new parallel activity to execute each matched method
+// call (@Task), usable inside or outside parallel regions. Completion is
+// joined at a @TaskWait point or, inside a region, at the region's end.
+type TaskAspect struct {
+	name    string
+	matcher weaver.Matcher
+}
+
+// TaskSpawn binds @Task to the methods selected by pc.
+func TaskSpawn(pc string) *TaskAspect { return newTask(mustPC(pc)) }
+
+func newTask(m weaver.Matcher) *TaskAspect { return &TaskAspect{name: "Task", matcher: m} }
+
+// Named renames the aspect module.
+func (a *TaskAspect) Named(name string) *TaskAspect { a.name = name; return a }
+
+// AspectName implements weaver.Aspect.
+func (a *TaskAspect) AspectName() string { return a.name }
+
+// Bindings implements weaver.Aspect.
+func (a *TaskAspect) Bindings() []weaver.Binding {
+	adv := advice{
+		name: "task",
+		prec: PrecTask,
+		validate: func(jp *weaver.Joinpoint) error {
+			if jp.Kind() == weaver.ValueKind {
+				return fmt.Errorf("@Task on value-returning %s: use @FutureTask", jp.FQN())
+			}
+			return nil
+		},
+		wrap: func(jp *weaver.Joinpoint, next weaver.HandlerFunc) weaver.HandlerFunc {
+			return func(c *weaver.Call) {
+				tc := *c
+				rt.Spawn(func() { next(&tc) })
+			}
+		},
+	}
+	return []weaver.Binding{{Matcher: a.matcher, Advice: adv}}
+}
+
+// TaskWaitAspect turns matched methods into join points between spawning
+// and spawned activities (@TaskWait): all outstanding tasks of the
+// caller's task scope complete before the method body runs (or after,
+// with After).
+type TaskWaitAspect struct {
+	name    string
+	matcher weaver.Matcher
+	after   bool
+}
+
+// TaskWaitPoint binds @TaskWait to the methods selected by pc.
+func TaskWaitPoint(pc string) *TaskWaitAspect { return newTaskWait(mustPC(pc)) }
+
+func newTaskWait(m weaver.Matcher) *TaskWaitAspect {
+	return &TaskWaitAspect{name: "TaskWait", matcher: m}
+}
+
+// Named renames the aspect module.
+func (a *TaskWaitAspect) Named(name string) *TaskWaitAspect { a.name = name; return a }
+
+// After waits after the method body instead of before it.
+func (a *TaskWaitAspect) After() *TaskWaitAspect { a.after = true; return a }
+
+// AspectName implements weaver.Aspect.
+func (a *TaskWaitAspect) AspectName() string { return a.name }
+
+// Bindings implements weaver.Aspect.
+func (a *TaskWaitAspect) Bindings() []weaver.Binding {
+	adv := advice{
+		name: "taskwait",
+		prec: PrecTaskWait,
+		wrap: func(jp *weaver.Joinpoint, next weaver.HandlerFunc) weaver.HandlerFunc {
+			return func(c *weaver.Call) {
+				if !a.after {
+					rt.TaskScope().Wait()
+				}
+				next(c)
+				if a.after {
+					rt.TaskScope().Wait()
+				}
+			}
+		},
+	}
+	return []weaver.Binding{{Matcher: a.matcher, Advice: adv}}
+}
+
+// FutureTaskAspect runs matched value-returning methods asynchronously,
+// delivering the result through a Future whose getter is the
+// synchronisation point (@FutureTask/@FutureResult: methods "must return
+// an object with getter/setter methods that act as synchronisation
+// points"). Applies to methods registered with FutureProc; without this
+// aspect the future resolves synchronously.
+type FutureTaskAspect struct {
+	name    string
+	matcher weaver.Matcher
+}
+
+// FutureTaskSpawn binds @FutureTask to the methods selected by pc.
+func FutureTaskSpawn(pc string) *FutureTaskAspect { return newFutureTask(mustPC(pc)) }
+
+func newFutureTask(m weaver.Matcher) *FutureTaskAspect {
+	return &FutureTaskAspect{name: "FutureTask", matcher: m}
+}
+
+// Named renames the aspect module.
+func (a *FutureTaskAspect) Named(name string) *FutureTaskAspect { a.name = name; return a }
+
+// AspectName implements weaver.Aspect.
+func (a *FutureTaskAspect) AspectName() string { return a.name }
+
+// Bindings implements weaver.Aspect.
+func (a *FutureTaskAspect) Bindings() []weaver.Binding {
+	adv := advice{
+		name: "futureTask",
+		prec: PrecTask,
+		validate: func(jp *weaver.Joinpoint) error {
+			if jp.Kind() != weaver.ValueKind {
+				return fmt.Errorf("@FutureTask requires a value-returning method, got %s %s", jp.Kind(), jp.FQN())
+			}
+			return nil
+		},
+		wrap: func(jp *weaver.Joinpoint, next weaver.HandlerFunc) weaver.HandlerFunc {
+			return func(c *weaver.Call) {
+				tc := *c
+				c.Ret = rt.SpawnFuture(func() any {
+					next(&tc)
+					return tc.Ret
+				})
+			}
+		},
+	}
+	return []weaver.Binding{{Matcher: a.matcher, Advice: adv}}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"aomplib/internal/rt"
+	"aomplib/internal/weaver"
+)
+
+// ThreadLocalAspect instantiates an object field per thread instead of per
+// object (@ThreadLocalField): matched accessor methods (value-returning,
+// produced by the M2M refactoring of a field access) return a per-worker
+// value inside parallel regions and the global value outside them.
+//
+// Initialisation follows the paper: "each thread local object field is
+// initialised with the value of the field outside the thread local
+// context, if the first thread access is a read operation. Otherwise, the
+// thread local value is not initialised" — i.e. write-first fields start
+// fresh. InitFromGlobal covers the first case, InitFresh the second
+// (e.g. per-thread force accumulators, which start zeroed).
+type ThreadLocalAspect struct {
+	name    string
+	id      string
+	matcher weaver.Matcher
+
+	fresh      func() any
+	fromGlobal func() any
+
+	mu      sync.Mutex
+	perTeam map[*rt.Team]map[int]any
+}
+
+// NewThreadLocal binds @ThreadLocalField with the given id to the accessor
+// methods selected by pc.
+func NewThreadLocal(pc, id string) *ThreadLocalAspect { return newThreadLocal(mustPC(pc), id) }
+
+func newThreadLocal(m weaver.Matcher, id string) *ThreadLocalAspect {
+	return &ThreadLocalAspect{
+		name:    "ThreadLocal(" + id + ")",
+		id:      id,
+		matcher: m,
+		perTeam: make(map[*rt.Team]map[int]any),
+	}
+}
+
+// Named renames the aspect module.
+func (a *ThreadLocalAspect) Named(name string) *ThreadLocalAspect { a.name = name; return a }
+
+// ID returns the field id distinguishing "several thread local fields".
+func (a *ThreadLocalAspect) ID() string { return a.id }
+
+// InitFresh initialises each worker's value with make (write-first
+// semantics, e.g. zeroed accumulators).
+func (a *ThreadLocalAspect) InitFresh(make func() any) *ThreadLocalAspect {
+	a.fresh = make
+	return a
+}
+
+// InitFromGlobal initialises each worker's value from the field value
+// outside the thread-local context (read-first semantics). get must
+// return an independent copy.
+func (a *ThreadLocalAspect) InitFromGlobal(get func() any) *ThreadLocalAspect {
+	a.fromGlobal = get
+	return a
+}
+
+func (a *ThreadLocalAspect) newValue() any {
+	if a.fresh != nil {
+		return a.fresh()
+	}
+	return a.fromGlobal()
+}
+
+func (a *ThreadLocalAspect) record(team *rt.Team, id int, v any) {
+	a.mu.Lock()
+	byID := a.perTeam[team]
+	if byID == nil {
+		byID = make(map[int]any)
+		a.perTeam[team] = byID
+	}
+	byID[id] = v
+	a.mu.Unlock()
+}
+
+// Drain removes and returns all per-worker values created for team, in
+// worker-id order. It is the collection step of a reduction.
+func (a *ThreadLocalAspect) Drain(team *rt.Team) []any {
+	a.mu.Lock()
+	byID := a.perTeam[team]
+	delete(a.perTeam, team)
+	a.mu.Unlock()
+	out := make([]any, 0, len(byID))
+	for id := 0; id < team.Size; id++ {
+		if v, ok := byID[id]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Values returns a snapshot of the per-worker values for team without
+// draining them (worker-id order).
+func (a *ThreadLocalAspect) Values(team *rt.Team) []any {
+	a.mu.Lock()
+	byID := a.perTeam[team]
+	out := make([]any, 0, len(byID))
+	for id := 0; id < team.Size; id++ {
+		if v, ok := byID[id]; ok {
+			out = append(out, v)
+		}
+	}
+	a.mu.Unlock()
+	return out
+}
+
+// AspectName implements weaver.Aspect.
+func (a *ThreadLocalAspect) AspectName() string { return a.name }
+
+// Bindings implements weaver.Aspect.
+func (a *ThreadLocalAspect) Bindings() []weaver.Binding {
+	adv := advice{
+		name:        "threadLocal(" + a.id + ")",
+		prec:        PrecThreadLocal,
+		needsWorker: true,
+		validate: func(jp *weaver.Joinpoint) error {
+			if jp.Kind() != weaver.ValueKind {
+				return fmt.Errorf("@ThreadLocalField requires a value-returning accessor, got %s %s", jp.Kind(), jp.FQN())
+			}
+			if a.fresh == nil && a.fromGlobal == nil {
+				return fmt.Errorf("@ThreadLocalField(%s) has no initialiser (InitFresh or InitFromGlobal)", a.id)
+			}
+			return nil
+		},
+		wrap: func(jp *weaver.Joinpoint, next weaver.HandlerFunc) weaver.HandlerFunc {
+			return func(c *weaver.Call) {
+				w := c.Worker
+				if w == nil {
+					next(c) // outside regions the global field is used
+					return
+				}
+				c.Ret = w.TLS(a, func() any {
+					v := a.newValue()
+					a.record(w.Team, w.ID, v)
+					return v
+				})
+			}
+		},
+	}
+	return []weaver.Binding{{Matcher: a.matcher, Advice: adv}}
+}
+
+// ReduceAspect merges all thread-local copies of a field into its global
+// value at matched methods (@Reduce): a barrier ensures all workers have
+// finished producing, the master merges every copy, thread-local caches
+// are invalidated, and a second barrier publishes the merged value before
+// the method proceeds.
+type ReduceAspect struct {
+	name    string
+	matcher weaver.Matcher
+	tl      *ThreadLocalAspect
+	merge   func(local any)
+}
+
+// ReducePoint binds @Reduce(id=tl.ID()) to the methods selected by pc.
+// merge folds one thread-local copy into the global value; it runs on the
+// master, serially, once per copy.
+func ReducePoint(pc string, tl *ThreadLocalAspect, merge func(local any)) *ReduceAspect {
+	return newReduce(mustPC(pc), tl, merge)
+}
+
+func newReduce(m weaver.Matcher, tl *ThreadLocalAspect, merge func(local any)) *ReduceAspect {
+	return &ReduceAspect{name: "Reduce(" + tl.ID() + ")", matcher: m, tl: tl, merge: merge}
+}
+
+// Named renames the aspect module.
+func (a *ReduceAspect) Named(name string) *ReduceAspect { a.name = name; return a }
+
+// AspectName implements weaver.Aspect.
+func (a *ReduceAspect) AspectName() string { return a.name }
+
+// Bindings implements weaver.Aspect.
+func (a *ReduceAspect) Bindings() []weaver.Binding {
+	adv := advice{
+		name:        "reduce(" + a.tl.ID() + ")",
+		prec:        PrecReduce,
+		needsWorker: true,
+		wrap: func(jp *weaver.Joinpoint, next weaver.HandlerFunc) weaver.HandlerFunc {
+			return func(c *weaver.Call) {
+				w := c.Worker
+				if w == nil {
+					next(c)
+					return
+				}
+				w.Team.Barrier().Wait() // all producers done
+				if w.ID == 0 {
+					for _, v := range a.tl.Drain(w.Team) {
+						a.merge(v)
+					}
+				}
+				w.TLSDelete(a.tl)       // next access re-initialises
+				w.Team.Barrier().Wait() // merged value visible
+				next(c)
+			}
+		},
+	}
+	return []weaver.Binding{{Matcher: a.matcher, Advice: adv}}
+}

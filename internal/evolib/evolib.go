@@ -1,0 +1,256 @@
+// Package evolib is a compact evolutionary-computation framework in the
+// mould of JECoLi, the "Java Evolutionary Computation Library" the paper
+// reports as AOmpLib's flagship application (§VII: "The library is being
+// successfully applied to many Java frameworks ... One of such cases is
+// the JECoLi"). It implements a generational genetic algorithm over
+// real-valued genomes — population initialisation, tournament selection,
+// uniform crossover, Gaussian mutation, elitism — written as a purely
+// sequential base program whose hot spots are for methods, so AOmpLib
+// aspects can parallelise fitness evaluation and breeding without
+// touching the domain code.
+//
+// Determinism: every individual's randomness derives from a generator
+// seeded by (base seed, generation, slot index), so results are identical
+// regardless of how slots are distributed over threads — the same
+// technique the MonteCarlo benchmark uses.
+package evolib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aomplib/internal/rng"
+)
+
+// Fitness scores a genome; larger is better. Implementations must be
+// pure (no shared mutable state) so evaluation can be work-shared.
+type Fitness func(genome []float64) float64
+
+// Config parametrises a run.
+type Config struct {
+	// PopSize is the number of individuals (must be ≥ 2).
+	PopSize int
+	// GenomeLen is the number of real-valued genes.
+	GenomeLen int
+	// Generations is the number of generational steps.
+	Generations int
+	// TournamentK is the tournament size for selection (≥ 1).
+	TournamentK int
+	// CrossoverRate in [0,1] is the per-pair uniform crossover chance.
+	CrossoverRate float64
+	// MutationRate in [0,1] is the per-gene Gaussian mutation chance.
+	MutationRate float64
+	// MutationSigma is the mutation step width.
+	MutationSigma float64
+	// Elite is the number of best individuals copied unchanged.
+	Elite int
+	// Seed makes runs reproducible.
+	Seed int64
+	// LowerBound/UpperBound clamp genes.
+	LowerBound, UpperBound float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.PopSize < 2:
+		return fmt.Errorf("evolib: PopSize %d < 2", c.PopSize)
+	case c.GenomeLen < 1:
+		return fmt.Errorf("evolib: GenomeLen %d < 1", c.GenomeLen)
+	case c.TournamentK < 1:
+		return fmt.Errorf("evolib: TournamentK %d < 1", c.TournamentK)
+	case c.Elite < 0 || c.Elite >= c.PopSize:
+		return fmt.Errorf("evolib: Elite %d out of range", c.Elite)
+	case c.UpperBound <= c.LowerBound:
+		return fmt.Errorf("evolib: bounds [%v,%v] empty", c.LowerBound, c.UpperBound)
+	}
+	return nil
+}
+
+// Individual is one genome with its cached fitness.
+type Individual struct {
+	Genome  []float64
+	Fitness float64
+}
+
+// GA is the base program: a generational genetic algorithm whose hot
+// loops are exposed as for methods (EvaluateSlots, BreedSlots).
+type GA struct {
+	cfg Config
+	fit Fitness
+
+	pop  []Individual
+	next []Individual
+
+	generation int
+	// BestHistory records the best fitness after each generation.
+	BestHistory []float64
+}
+
+// New builds a GA with a deterministically initialised population.
+func New(cfg Config, fit Fitness) (*GA, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if fit == nil {
+		return nil, fmt.Errorf("evolib: nil fitness")
+	}
+	g := &GA{cfg: cfg, fit: fit}
+	g.pop = make([]Individual, cfg.PopSize)
+	g.next = make([]Individual, cfg.PopSize)
+	span := cfg.UpperBound - cfg.LowerBound
+	for i := range g.pop {
+		r := rng.New(cfg.Seed ^ int64(i)*0x9E3779B9)
+		genome := make([]float64, cfg.GenomeLen)
+		for j := range genome {
+			genome[j] = cfg.LowerBound + span*r.NextDouble()
+		}
+		g.pop[i] = Individual{Genome: genome, Fitness: math.Inf(-1)}
+		g.next[i] = Individual{Genome: make([]float64, cfg.GenomeLen)}
+	}
+	return g, nil
+}
+
+// slotRand derives the deterministic generator for one (generation, slot)
+// pair, independent of thread assignment.
+func (g *GA) slotRand(slot int) *rng.Random {
+	return rng.New(g.cfg.Seed + int64(g.generation)*1_000_003 + int64(slot)*7_919)
+}
+
+// EvaluateSlots is the fitness-evaluation for method over population
+// slots [lo,hi): the dominant, embarrassingly parallel cost of a GA and
+// the loop JECoLi parallelises with AOmpLib.
+func (g *GA) EvaluateSlots(lo, hi, step int) {
+	for i := lo; i < hi; i += step {
+		g.pop[i].Fitness = g.fit(g.pop[i].Genome)
+	}
+}
+
+// rankIndices returns population indices sorted best-first. It runs on a
+// single activity (cheap: O(P log P) against the O(P·eval) evaluation).
+func (g *GA) rankIndices() []int {
+	idx := make([]int, len(g.pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return g.pop[idx[a]].Fitness > g.pop[idx[b]].Fitness
+	})
+	return idx
+}
+
+// ranked caches the current generation's ranking for BreedSlots; it is
+// computed once per generation by a single/master activity.
+var _ = sort.SearchInts // keep sort imported even if ranking changes
+
+type generationPlan struct {
+	ranked []int
+}
+
+// PlanGeneration ranks the evaluated population; it must run exactly once
+// per generation (a @Single/@Master method in the woven versions) before
+// BreedSlots.
+func (g *GA) PlanGeneration() *generationPlan {
+	plan := &generationPlan{ranked: g.rankIndices()}
+	g.BestHistory = append(g.BestHistory, g.pop[plan.ranked[0]].Fitness)
+	return plan
+}
+
+// BreedSlots is the breeding for method over next-generation slots
+// [lo,hi): elitism for the first Elite slots, then tournament selection,
+// uniform crossover and Gaussian mutation. Each slot writes only its own
+// next-generation individual, so slots are freely work-shareable.
+func (g *GA) BreedSlots(lo, hi, step int, plan *generationPlan) {
+	cfg := g.cfg
+	for slot := lo; slot < hi; slot += step {
+		dst := &g.next[slot]
+		if slot < cfg.Elite {
+			copy(dst.Genome, g.pop[plan.ranked[slot]].Genome)
+			dst.Fitness = g.pop[plan.ranked[slot]].Fitness
+			continue
+		}
+		r := g.slotRand(slot)
+		p1 := g.tournament(r)
+		p2 := g.tournament(r)
+		// Uniform crossover.
+		if r.NextDouble() < cfg.CrossoverRate {
+			for j := range dst.Genome {
+				if r.NextBoolean() {
+					dst.Genome[j] = g.pop[p1].Genome[j]
+				} else {
+					dst.Genome[j] = g.pop[p2].Genome[j]
+				}
+			}
+		} else {
+			copy(dst.Genome, g.pop[p1].Genome)
+		}
+		// Gaussian mutation with clamping.
+		for j := range dst.Genome {
+			if r.NextDouble() < cfg.MutationRate {
+				v := dst.Genome[j] + cfg.MutationSigma*r.NextGaussian()
+				dst.Genome[j] = math.Min(cfg.UpperBound, math.Max(cfg.LowerBound, v))
+			}
+		}
+		dst.Fitness = math.Inf(-1)
+	}
+}
+
+// tournament picks the best of TournamentK uniformly random individuals.
+func (g *GA) tournament(r *rng.Random) int {
+	best := int(r.NextIntN(int32(len(g.pop))))
+	for k := 1; k < g.cfg.TournamentK; k++ {
+		c := int(r.NextIntN(int32(len(g.pop))))
+		if g.pop[c].Fitness > g.pop[best].Fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+// SwapGenerations promotes the bred population (single activity, between
+// barriers in the woven versions).
+func (g *GA) SwapGenerations() {
+	g.pop, g.next = g.next, g.pop
+	g.generation++
+}
+
+// Generation returns the current generation index.
+func (g *GA) Generation() int { return g.generation }
+
+// Best returns the best individual of the current population (requires an
+// evaluated population).
+func (g *GA) Best() Individual {
+	best := g.pop[0]
+	for _, ind := range g.pop[1:] {
+		if ind.Fitness > best.Fitness {
+			best = ind
+		}
+	}
+	return Individual{Genome: append([]float64(nil), best.Genome...), Fitness: best.Fitness}
+}
+
+// Pop returns the population size.
+func (g *GA) Pop() int { return len(g.pop) }
+
+// --------------------------------------------------- test problems -----
+
+// Sphere is the classic continuous minimisation test function, negated so
+// larger is better; optimum 0 at the origin.
+func Sphere(genome []float64) float64 {
+	s := 0.0
+	for _, v := range genome {
+		s += v * v
+	}
+	return -s
+}
+
+// Rastrigin is the standard multi-modal benchmark, negated; optimum 0 at
+// the origin.
+func Rastrigin(genome []float64) float64 {
+	s := 10 * float64(len(genome))
+	for _, v := range genome {
+		s += v*v - 10*math.Cos(2*math.Pi*v)
+	}
+	return -s
+}

@@ -1,0 +1,155 @@
+package evolib
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	return Config{
+		PopSize: 60, GenomeLen: 8, Generations: 15,
+		TournamentK: 3, CrossoverRate: 0.9,
+		MutationRate: 0.1, MutationSigma: 0.3, Elite: 2,
+		Seed: 42, LowerBound: -5.12, UpperBound: 5.12,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.PopSize = 1 },
+		func(c *Config) { c.GenomeLen = 0 },
+		func(c *Config) { c.TournamentK = 0 },
+		func(c *Config) { c.Elite = -1 },
+		func(c *Config) { c.Elite = c.PopSize },
+		func(c *Config) { c.UpperBound = c.LowerBound },
+	}
+	for i, mutate := range bad {
+		c := testConfig()
+		mutate(&c)
+		if _, err := New(c, Sphere); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(testConfig(), nil); err == nil {
+		t.Error("nil fitness accepted")
+	}
+}
+
+func TestSequentialImprovesFitness(t *testing.T) {
+	g, err := New(testConfig(), Sphere)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := RunSeq(g)
+	if len(g.BestHistory) != testConfig().Generations {
+		t.Fatalf("history has %d entries", len(g.BestHistory))
+	}
+	if best.Fitness <= g.BestHistory[0] {
+		t.Fatalf("no improvement: first %v, final %v", g.BestHistory[0], best.Fitness)
+	}
+	// Sphere optimum is 0; a short run should get within a few units.
+	if best.Fitness < -10 {
+		t.Fatalf("final fitness %v implausibly poor", best.Fitness)
+	}
+}
+
+func TestElitismMonotoneBest(t *testing.T) {
+	g, _ := New(testConfig(), Rastrigin)
+	RunSeq(g)
+	for i := 1; i < len(g.BestHistory); i++ {
+		if g.BestHistory[i] < g.BestHistory[i-1]-1e-12 {
+			t.Fatalf("best fitness regressed at generation %d: %v -> %v",
+				i, g.BestHistory[i-1], g.BestHistory[i])
+		}
+	}
+}
+
+func TestAompMatchesSequentialBitwise(t *testing.T) {
+	for _, threads := range []int{1, 2, 4} {
+		seqGA, _ := New(testConfig(), Sphere)
+		seqBest := RunSeq(seqGA)
+
+		aompGA, _ := New(testConfig(), Sphere)
+		run, _ := BuildAomp(aompGA, threads)
+		aompBest := run()
+
+		if seqBest.Fitness != aompBest.Fitness {
+			t.Fatalf("threads=%d: fitness %v vs %v", threads, seqBest.Fitness, aompBest.Fitness)
+		}
+		for j := range seqBest.Genome {
+			if seqBest.Genome[j] != aompBest.Genome[j] {
+				t.Fatalf("threads=%d: genome differs at %d", threads, j)
+			}
+		}
+		for i := range seqGA.BestHistory {
+			if seqGA.BestHistory[i] != aompGA.BestHistory[i] {
+				t.Fatalf("threads=%d: history differs at generation %d", threads, i)
+			}
+		}
+	}
+}
+
+func TestWeaveReportListsGAConstructs(t *testing.T) {
+	g, _ := New(testConfig(), Sphere)
+	_, prog := BuildAomp(g, 2)
+	found := map[string]bool{}
+	for _, wm := range prog.Report() {
+		for _, adv := range wm.Advice {
+			found[adv] = true
+		}
+	}
+	for _, want := range []string{
+		"ParallelRegion/parallel",
+		"EvalFor/for(dynamic)",
+		"BreedFor/for(staticBlock)",
+	} {
+		if !found[want] {
+			t.Fatalf("weave report missing %q: %v", want, found)
+		}
+	}
+}
+
+func TestGenesStayInBounds(t *testing.T) {
+	cfg := testConfig()
+	cfg.MutationRate = 1.0
+	cfg.MutationSigma = 10
+	g, _ := New(cfg, Sphere)
+	RunSeq(g)
+	for i := 0; i < g.Pop(); i++ {
+		for _, v := range g.pop[i].Genome {
+			if v < cfg.LowerBound || v > cfg.UpperBound {
+				t.Fatalf("gene %v escaped [%v,%v]", v, cfg.LowerBound, cfg.UpperBound)
+			}
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a, _ := New(testConfig(), Rastrigin)
+	b, _ := New(testConfig(), Rastrigin)
+	if RunSeq(a).Fitness != RunSeq(b).Fitness {
+		t.Fatal("same seed produced different runs")
+	}
+}
+
+// Property: fitness functions are maximised at the origin.
+func TestTestProblemOptima(t *testing.T) {
+	zero := make([]float64, 6)
+	if Sphere(zero) != 0 || math.Abs(Rastrigin(zero)) > 1e-9 {
+		t.Fatal("optima not at origin")
+	}
+	f := func(gs [6]float64) bool {
+		g := make([]float64, len(gs))
+		for i, v := range gs {
+			g[i] = math.Mod(v, 10) // test functions' meaningful domain
+			if math.IsNaN(g[i]) {
+				g[i] = 0
+			}
+		}
+		return Sphere(g) <= 0 && Rastrigin(g) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package evolib
+
+import (
+	"aomplib/internal/core"
+	"aomplib/internal/sched"
+	"aomplib/internal/weaver"
+)
+
+// RunSeq evolves the GA sequentially: the base algorithm with no aspects.
+func RunSeq(g *GA) Individual {
+	for gen := 0; gen < g.cfg.Generations; gen++ {
+		g.EvaluateSlots(0, g.Pop(), 1)
+		plan := g.PlanGeneration()
+		g.BreedSlots(0, g.Pop(), 1, plan)
+		g.SwapGenerations()
+	}
+	g.EvaluateSlots(0, g.Pop(), 1)
+	return g.Best()
+}
+
+// BuildAomp registers the GA's joinpoints and deploys the parallelisation
+// aspects the paper describes for JECoLi-style frameworks: the whole
+// evolution is one parallel region; fitness evaluation and breeding are
+// work-shared for methods (evaluation dynamic — fitness cost may vary per
+// individual; breeding block); ranking and generation swap are master
+// operations fenced by barriers. It returns the evolve entry point.
+func BuildAomp(g *GA, threads int) (run func() Individual, prog *weaver.Program) {
+	prog = weaver.NewProgram("EvoLib")
+	cls := prog.Class("GA")
+
+	var plan *generationPlan
+	evaluate := cls.ForProc("evaluateSlots", g.EvaluateSlots)
+	rank := cls.Proc("planGeneration", func() { plan = g.PlanGeneration() })
+	breed := cls.ForProc("breedSlots", func(lo, hi, step int) {
+		g.BreedSlots(lo, hi, step, plan)
+	})
+	swap := cls.Proc("swapGenerations", g.SwapGenerations)
+	evolve := cls.Proc("evolve", func() {
+		for gen := 0; gen < g.cfg.Generations; gen++ {
+			evaluate(0, g.Pop(), 1)
+			rank()
+			breed(0, g.Pop(), 1)
+			swap()
+		}
+		evaluate(0, g.Pop(), 1)
+	})
+
+	prog.Use(core.ParallelRegion("call(* GA.evolve(..))").Threads(threads))
+	prog.Use(core.ForShare("call(* GA.evaluateSlots(..))").Named("EvalFor").
+		Schedule(sched.Dynamic).Chunk(8))
+	prog.Use(core.ForShare("call(* GA.breedSlots(..))").Named("BreedFor"))
+	prog.Use(core.MasterSection("call(* GA.planGeneration(..)) || call(* GA.swapGenerations(..))"))
+	prog.Use(core.BarrierAfterPoint(
+		"call(* GA.evaluateSlots(..)) || call(* GA.planGeneration(..))" +
+			" || call(* GA.breedSlots(..)) || call(* GA.swapGenerations(..))"))
+	prog.MustWeave()
+
+	return func() Individual {
+		evolve()
+		return g.Best()
+	}, prog
+}

@@ -1,0 +1,134 @@
+// Package gls provides goroutine-local storage.
+//
+// AOmpLib's execution model (paper §III.A) relies on dynamic scoping: code
+// running anywhere in the dynamic extent of a parallel region must be able
+// to discover the worker (thread id, team) that is executing it, exactly as
+// Java code can via ThreadLocal. Go deliberately hides goroutine identity,
+// so this package reconstructs it by parsing the header line emitted by
+// runtime.Stack, which is stable across all Go releases to date
+// ("goroutine <id> [running]:"). The identifier is used only as a map key;
+// no scheduling decision depends on it.
+//
+// The store is sharded to keep contention low when many workers register
+// and deregister around parallel-region boundaries. Lookup cost is dominated
+// by runtime.Stack (≈1µs); AOmpLib only performs lookups at woven
+// method-call granularity (outer loops), never in inner loops, mirroring the
+// paper's claim that advice overhead is negligible at region/work-sharing
+// granularity.
+package gls
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// shardCount must be a power of two; 64 shards keep the per-shard mutexes
+// uncontended for the team sizes the library targets (≤ hundreds).
+const shardCount = 64
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[int64][]any
+}
+
+// Store maps the current goroutine to a stack of values. A stack (rather
+// than a single slot) is required to support nested parallel regions: each
+// region entry pushes the inner worker context and pops it on exit,
+// restoring the enclosing one.
+type Store struct {
+	shards [shardCount]shard
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[int64][]any)
+	}
+	return s
+}
+
+func (s *Store) shardFor(id int64) *shard {
+	return &s.shards[uint64(id)&(shardCount-1)]
+}
+
+// Push associates v with the current goroutine, stacking on top of any
+// previous association (nested regions).
+func (s *Store) Push(v any) {
+	id := Goid()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.m[id] = append(sh.m[id], v)
+	sh.mu.Unlock()
+}
+
+// Pop removes the most recent association for the current goroutine.
+// It panics if the goroutine has no association, which always indicates a
+// Push/Pop pairing bug in the runtime layer.
+func (s *Store) Pop() {
+	id := Goid()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	stack := sh.m[id]
+	if len(stack) == 0 {
+		sh.mu.Unlock()
+		panic("gls: Pop without matching Push")
+	}
+	if len(stack) == 1 {
+		delete(sh.m, id)
+	} else {
+		sh.m[id] = stack[:len(stack)-1]
+	}
+	sh.mu.Unlock()
+}
+
+// Current returns the most recent value associated with the current
+// goroutine, or nil if there is none (code running outside any parallel
+// region).
+func (s *Store) Current() any {
+	id := Goid()
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	stack := sh.m[id]
+	var v any
+	if n := len(stack); n > 0 {
+		v = stack[n-1]
+	}
+	sh.mu.RUnlock()
+	return v
+}
+
+// Depth reports the nesting depth registered for the current goroutine.
+func (s *Store) Depth() int {
+	id := Goid()
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	d := len(sh.m[id])
+	sh.mu.RUnlock()
+	return d
+}
+
+var goroutinePrefix = []byte("goroutine ")
+
+// Goid returns the runtime id of the calling goroutine.
+func Goid() int64 {
+	buf := make([]byte, 64)
+	n := runtime.Stack(buf, false)
+	buf = buf[:n]
+	// Header: "goroutine 123 [running]:"
+	if !bytes.HasPrefix(buf, goroutinePrefix) {
+		panic("gls: unexpected runtime.Stack header: " + string(buf))
+	}
+	buf = buf[len(goroutinePrefix):]
+	sp := bytes.IndexByte(buf, ' ')
+	if sp < 0 {
+		panic("gls: unexpected runtime.Stack header")
+	}
+	id, err := strconv.ParseInt(string(buf[:sp]), 10, 64)
+	if err != nil {
+		panic("gls: cannot parse goroutine id: " + err.Error())
+	}
+	return id
+}

@@ -1,0 +1,143 @@
+package gls
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoidStable(t *testing.T) {
+	a, b := Goid(), Goid()
+	if a != b {
+		t.Fatalf("Goid changed within one goroutine: %d vs %d", a, b)
+	}
+}
+
+func TestGoidDistinctAcrossGoroutines(t *testing.T) {
+	main := Goid()
+	ch := make(chan int64, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch <- Goid()
+		}()
+	}
+	wg.Wait()
+	close(ch)
+	seen := map[int64]bool{main: true}
+	for id := range ch {
+		if seen[id] {
+			t.Fatalf("duplicate goroutine id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestPushPopCurrent(t *testing.T) {
+	s := NewStore()
+	if got := s.Current(); got != nil {
+		t.Fatalf("empty store Current = %v, want nil", got)
+	}
+	s.Push("outer")
+	if got := s.Current(); got != "outer" {
+		t.Fatalf("Current = %v, want outer", got)
+	}
+	s.Push("inner")
+	if got := s.Current(); got != "inner" {
+		t.Fatalf("Current = %v, want inner (nested)", got)
+	}
+	if d := s.Depth(); d != 2 {
+		t.Fatalf("Depth = %d, want 2", d)
+	}
+	s.Pop()
+	if got := s.Current(); got != "outer" {
+		t.Fatalf("after Pop Current = %v, want outer", got)
+	}
+	s.Pop()
+	if got := s.Current(); got != nil {
+		t.Fatalf("after final Pop Current = %v, want nil", got)
+	}
+}
+
+func TestPopWithoutPushPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty store did not panic")
+		}
+	}()
+	NewStore().Pop()
+}
+
+func TestIsolationAcrossGoroutines(t *testing.T) {
+	s := NewStore()
+	s.Push("main")
+	defer s.Pop()
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for i := 0; i < 32; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v := s.Current(); v != nil {
+				errs <- "goroutine saw foreign value"
+				return
+			}
+			s.Push(i)
+			if v := s.Current(); v != i {
+				errs <- "goroutine did not see its own value"
+			}
+			s.Pop()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if v := s.Current(); v != "main" {
+		t.Fatalf("main value clobbered: %v", v)
+	}
+}
+
+// Property: for any sequence of pushes, Current always reflects the last
+// push and Depth the number of pushes.
+func TestPushStackProperty(t *testing.T) {
+	s := NewStore()
+	f := func(vals []int) bool {
+		for i, v := range vals {
+			s.Push(v)
+			if s.Depth() != i+1 || s.Current() != v {
+				return false
+			}
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			if s.Current() != vals[i] {
+				return false
+			}
+			s.Pop()
+		}
+		return s.Current() == nil && s.Depth() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGoid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Goid()
+	}
+}
+
+func BenchmarkCurrent(b *testing.B) {
+	s := NewStore()
+	s.Push("x")
+	defer s.Pop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Current()
+	}
+}

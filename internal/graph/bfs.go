@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"sync/atomic"
+
+	"aomplib/internal/core"
+	"aomplib/internal/sched"
+	"aomplib/internal/weaver"
+)
+
+// BFS is a level-synchronous breadth-first search: each round expands the
+// current frontier in parallel, claiming unvisited vertices with
+// compare-and-swap so a vertex is adopted by exactly one parent, and a
+// barrier separates levels. Frontier sizes vary wildly on power-law
+// graphs, making the expansion loop the second irregular kernel of the
+// §VII study.
+type BFS struct {
+	g      *Graph
+	source int
+
+	// Dist[v] is the BFS level of v, or -1 if unreached.
+	Dist []int32
+
+	frontier, next []int32
+	frontierLen    int
+	nextLen        int64
+
+	// levels counts completed rounds (diagnostics).
+	levels int
+}
+
+// NewBFS prepares a traversal of g from source.
+func NewBFS(g *Graph, source int) *BFS {
+	b := &BFS{
+		g: g, source: source,
+		Dist:     make([]int32, g.N),
+		frontier: make([]int32, g.N),
+		next:     make([]int32, g.N),
+	}
+	for v := range b.Dist {
+		b.Dist[v] = -1
+	}
+	b.Dist[source] = 0
+	b.frontier[0] = int32(source)
+	b.frontierLen = 1
+	return b
+}
+
+// ExpandFrontier is the for method over frontier slots [lo,hi): every
+// unvisited neighbour is claimed with CAS and appended to the next
+// frontier through an atomic cursor. Claiming makes the result
+// deterministic (the distance is the level regardless of which parent
+// wins), so all schedules and thread counts agree.
+func (b *BFS) ExpandFrontier(lo, hi, step int) {
+	if lo >= hi {
+		return
+	}
+	// All frontier vertices share a level; atomic load because failed CAS
+	// attempts by other workers touch the same cells concurrently.
+	level := atomic.LoadInt32(&b.Dist[b.frontier[lo]])
+	for s := lo; s < hi; s += step {
+		u := b.frontier[s]
+		for e := b.g.RowStart[u]; e < b.g.RowStart[u+1]; e++ {
+			w := int32(b.g.Adj[e])
+			if atomic.CompareAndSwapInt32(&b.Dist[w], -1, level+1) {
+				slot := atomic.AddInt64(&b.nextLen, 1) - 1
+				b.next[slot] = w
+			}
+		}
+	}
+}
+
+// AdvanceLevel swaps the frontiers (a master operation between barriers).
+func (b *BFS) AdvanceLevel() {
+	b.frontier, b.next = b.next, b.frontier
+	b.frontierLen = int(b.nextLen)
+	b.nextLen = 0
+	b.levels++
+}
+
+// Done reports whether the frontier is empty.
+func (b *BFS) Done() bool { return b.frontierLen == 0 }
+
+// Levels returns the number of completed rounds.
+func (b *BFS) Levels() int { return b.levels }
+
+// RunSeq executes the unwoven traversal.
+func (b *BFS) RunSeq() {
+	for !b.Done() {
+		b.ExpandFrontier(0, b.frontierLen, 1)
+		b.AdvanceLevel()
+	}
+}
+
+// Reached counts visited vertices.
+func (b *BFS) Reached() int {
+	n := 0
+	for _, d := range b.Dist {
+		if d >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// BuildBFSAomp weaves the traversal: a parallel region over the level
+// loop, a dynamically scheduled for over the frontier (frontier slots
+// carry very uneven out-degrees) and a master+barrier level swap. The
+// level loop condition reads frontierLen, which the master updates between
+// barriers, so every worker iterates the same number of rounds.
+func BuildBFSAomp(b *BFS, threads int, chunk int) (run func(), prog *weaver.Program) {
+	prog = weaver.NewProgram("BFS")
+	cls := prog.Class("BFS")
+
+	expand := cls.ForProc("expandFrontier", b.ExpandFrontier)
+	advance := cls.Proc("advanceLevel", b.AdvanceLevel)
+	traverse := cls.Proc("traverse", func() {
+		for !b.Done() {
+			expand(0, b.frontierLen, 1)
+			advance()
+		}
+	})
+
+	prog.Use(core.ParallelRegion("call(* BFS.traverse(..))").Threads(threads))
+	prog.Use(core.ForShare("call(* BFS.expandFrontier(..))").
+		Schedule(sched.Dynamic).Chunk(chunk)) // implicit barrier after
+	prog.Use(core.MasterSection("call(* BFS.advanceLevel(..))"))
+	prog.Use(core.BarrierAfterPoint("call(* BFS.advanceLevel(..))"))
+	prog.MustWeave()
+	return traverse, prog
+}

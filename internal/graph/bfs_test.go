@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestBFSGridDistances(t *testing.T) {
+	// On a grid, BFS distance is the Manhattan distance from the source.
+	side := 12
+	g := NewGrid(side)
+	b := NewBFS(g, 0)
+	b.RunSeq()
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			want := int32(r + c)
+			if got := b.Dist[r*side+c]; got != want {
+				t.Fatalf("dist(%d,%d) = %d, want %d", r, c, got, want)
+			}
+		}
+	}
+	if b.Reached() != side*side {
+		t.Fatalf("reached %d of %d", b.Reached(), side*side)
+	}
+	if b.Levels() != 2*side-1 {
+		t.Fatalf("levels = %d, want %d", b.Levels(), 2*side-1)
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	// Two-vertex graph with no edges: only the source is reached.
+	g := &Graph{N: 2, RowStart: []int{0, 0, 0}, OutDeg: []int{0, 0}}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBFS(g, 0)
+	b.RunSeq()
+	if b.Dist[0] != 0 || b.Dist[1] != -1 {
+		t.Fatalf("dist = %v", b.Dist)
+	}
+}
+
+func TestBFSAompMatchesSequential(t *testing.T) {
+	g := NewPowerLaw(2000, 6, 5)
+	ref := NewBFS(g, 0)
+	ref.RunSeq()
+
+	for _, threads := range []int{1, 2, 4} {
+		b := NewBFS(g, 0)
+		run, _ := BuildBFSAomp(b, threads, 16)
+		run()
+		for v := range ref.Dist {
+			if b.Dist[v] != ref.Dist[v] {
+				t.Fatalf("threads=%d: dist[%d] = %d, want %d", threads, v, b.Dist[v], ref.Dist[v])
+			}
+		}
+		if b.Levels() != ref.Levels() {
+			t.Fatalf("threads=%d: levels %d vs %d", threads, b.Levels(), ref.Levels())
+		}
+	}
+}
+
+func TestBFSTriangleInequality(t *testing.T) {
+	// For every edge u→w with both reached: dist(w) ≤ dist(u)+1.
+	g := NewPowerLaw(1500, 8, 17)
+	b := NewBFS(g, 3)
+	b.RunSeq()
+	for u := 0; u < g.N; u++ {
+		if b.Dist[u] < 0 {
+			continue
+		}
+		for e := g.RowStart[u]; e < g.RowStart[u+1]; e++ {
+			w := g.Adj[e]
+			if b.Dist[w] < 0 || b.Dist[w] > b.Dist[u]+1 {
+				t.Fatalf("edge %d(%d)→%d(%d) violates BFS property", u, b.Dist[u], w, b.Dist[w])
+			}
+		}
+	}
+}
+
+func TestBFSWeaveReport(t *testing.T) {
+	b := NewBFS(NewGrid(4), 0)
+	_, prog := BuildBFSAomp(b, 2, 4)
+	found := false
+	for _, wm := range prog.Report() {
+		for _, adv := range wm.Advice {
+			if adv == "For/for(dynamic)" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("dynamic for missing from weave report: %+v", prog.Report())
+	}
+}

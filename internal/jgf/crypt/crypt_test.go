@@ -1,0 +1,93 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"aomplib/internal/jgf/harness"
+)
+
+func TestMulInverse(t *testing.T) {
+	// mul and mulInv must be inverse over the full 16-bit domain.
+	for x := 0; x < 1<<16; x++ {
+		inv := mulInv(uint16(x))
+		if got := mul(uint32(uint16(x)), uint32(inv)); got != 1 {
+			t.Fatalf("mul(%d, inv=%d) = %d, want 1", x, inv, got)
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	for _, x := range []uint32{1, 2, 77, 0xfffe, 0xffff} {
+		if mul(x, 1) != uint16(x) {
+			t.Fatalf("mul(%d,1) = %d", x, mul(x, 1))
+		}
+	}
+	// 0 represents 2^16: mul(0,0) = 2^16 * 2^16 mod (2^16+1) = 1.
+	if mul(0, 0) != 1 {
+		t.Fatalf("mul(0,0) = %d, want 1", mul(0, 0))
+	}
+}
+
+func TestBlockRoundTripProperty(t *testing.T) {
+	f := func(block [8]byte, key [8]uint16) bool {
+		z := calcEncryptKey(key)
+		dk := calcDecryptKey(z)
+		var enc, dec [8]byte
+		cipherBlock(block[:], enc[:], &z)
+		cipherBlock(enc[:], dec[:], &dk)
+		return dec == block
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCipherChangesData(t *testing.T) {
+	var key [8]uint16
+	for i := range key {
+		key[i] = uint16(i*7 + 1)
+	}
+	z := calcEncryptKey(key)
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	dst := make([]byte, 8)
+	cipherBlock(src, dst, &z)
+	if bytes.Equal(src, dst) {
+		t.Fatal("cipher is identity")
+	}
+}
+
+func runAll(t *testing.T, p Params, threads int) (*seqInstance, *mtInstance, *aompInstance) {
+	t.Helper()
+	seq := NewSeq(p).(*seqInstance)
+	mt := NewMT(p, threads).(*mtInstance)
+	ao := NewAomp(p, threads).(*aompInstance)
+	for _, in := range []harness.Instance{seq, mt, ao} {
+		in.Setup()
+		in.Kernel()
+		if err := in.Validate(); err != nil {
+			t.Fatalf("validation: %v", err)
+		}
+	}
+	return seq, mt, ao
+}
+
+func TestAllVersionsProduceIdenticalCiphertext(t *testing.T) {
+	seq, mt, ao := runAll(t, SizeTest, 3)
+	if !bytes.Equal(seq.c.crypt1, mt.c.crypt1) {
+		t.Fatal("MT ciphertext differs from sequential")
+	}
+	if !bytes.Equal(seq.c.crypt1, ao.c.crypt1) {
+		t.Fatal("Aomp ciphertext differs from sequential")
+	}
+}
+
+func TestOddSizes(t *testing.T) {
+	// Non-multiple of thread count and of block size.
+	runAll(t, Params{N: 8*123 + 5}, 3)
+}
+
+func TestSingleThread(t *testing.T) {
+	runAll(t, Params{N: 1024}, 1)
+}

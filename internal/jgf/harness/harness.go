@@ -1,0 +1,162 @@
+// Package harness drives the Java Grande Forum (JGF) benchmark
+// reproductions used in the paper's evaluation (§V): each benchmark comes
+// in three versions — Seq (the refactored sequential base program), MT
+// (the hand-threaded JGF multi-thread baseline) and Aomp (the same base
+// program composed with AOmpLib aspect modules) — and the harness times
+// kernels, validates results and computes the speed-ups of Figure 13.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Instance is one configured benchmark run. Setup allocates and
+// initialises data (untimed, as in JGF), Kernel is the timed section, and
+// Validate checks the result afterwards.
+type Instance interface {
+	Setup()
+	Kernel()
+	Validate() error
+}
+
+// Version labels the three implementations compared in Figure 13.
+type Version string
+
+// Version labels.
+const (
+	Seq  Version = "Seq"
+	MT   Version = "JGF-MT"
+	Aomp Version = "Aomp"
+)
+
+// Measurement is one timed, validated benchmark execution.
+type Measurement struct {
+	Benchmark string
+	Version   Version
+	Threads   int
+	Seconds   float64
+	Err       error
+}
+
+// Measure runs inst: one untimed Setup, then reps timed Kernel executions
+// (taking the fastest, JGF-style), then Validate.
+func Measure(name string, version Version, threads int, inst Instance, reps int) Measurement {
+	if reps < 1 {
+		reps = 1
+	}
+	inst.Setup()
+	best := time.Duration(0)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		inst.Kernel()
+		d := time.Since(start)
+		if r == 0 || d < best {
+			best = d
+		}
+		if r != reps-1 {
+			inst.Setup() // fresh state per repetition
+		}
+	}
+	return Measurement{
+		Benchmark: name,
+		Version:   version,
+		Threads:   threads,
+		Seconds:   best.Seconds(),
+		Err:       inst.Validate(),
+	}
+}
+
+// Speedup computes seq.Seconds / m.Seconds.
+func Speedup(seq, m Measurement) float64 {
+	if m.Seconds == 0 {
+		return 0
+	}
+	return seq.Seconds / m.Seconds
+}
+
+// Table renders measurements grouped by benchmark as a Figure 13-style
+// speed-up table: one row per benchmark, one column per (version, threads)
+// pair, values relative to the benchmark's sequential run.
+type Table struct {
+	rows map[string]map[string]Measurement
+	seq  map[string]Measurement
+	cols map[string]bool
+}
+
+// NewTable creates an empty results table.
+func NewTable() *Table {
+	return &Table{
+		rows: map[string]map[string]Measurement{},
+		seq:  map[string]Measurement{},
+		cols: map[string]bool{},
+	}
+}
+
+// Add records a measurement.
+func (t *Table) Add(m Measurement) {
+	if m.Version == Seq {
+		t.seq[m.Benchmark] = m
+		return
+	}
+	key := fmt.Sprintf("%s/%dT", m.Version, m.Threads)
+	t.cols[key] = true
+	if t.rows[m.Benchmark] == nil {
+		t.rows[m.Benchmark] = map[string]Measurement{}
+	}
+	t.rows[m.Benchmark][key] = m
+}
+
+// Render writes the speed-up table to w.
+func (t *Table) Render(w io.Writer) {
+	var cols []string
+	for c := range t.cols {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	var names []string
+	for n := range t.rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-12s %10s", "benchmark", "seq(s)")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %14s", c)
+	}
+	fmt.Fprintln(w)
+	for _, n := range names {
+		seq := t.seq[n]
+		fmt.Fprintf(w, "%-12s %10.3f", n, seq.Seconds)
+		for _, c := range cols {
+			m, ok := t.rows[n][c]
+			switch {
+			case !ok:
+				fmt.Fprintf(w, " %14s", "-")
+			case m.Err != nil:
+				fmt.Fprintf(w, " %14s", "INVALID")
+			default:
+				fmt.Fprintf(w, " %13.2fx", Speedup(seq, m))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Deltas returns, per benchmark, the relative difference between the Aomp
+// and JGF-MT versions at the given thread count:
+// (tAomp - tMT) / tMT. This quantifies the paper's "performance difference
+// ... is less than 1%" claim.
+func (t *Table) Deltas(threads int) map[string]float64 {
+	out := map[string]float64{}
+	for name, row := range t.rows {
+		mt, ok1 := row[fmt.Sprintf("%s/%dT", MT, threads)]
+		ao, ok2 := row[fmt.Sprintf("%s/%dT", Aomp, threads)]
+		if ok1 && ok2 && mt.Seconds > 0 {
+			out[name] = (ao.Seconds - mt.Seconds) / mt.Seconds
+		}
+	}
+	return out
+}

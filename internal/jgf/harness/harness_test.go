@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeInstance counts lifecycle calls and burns a predictable amount of
+// time in Kernel.
+type fakeInstance struct {
+	setups, kernels int
+	sleep           time.Duration
+	fail            error
+}
+
+func (f *fakeInstance) Setup()  { f.setups++ }
+func (f *fakeInstance) Kernel() { f.kernels++; time.Sleep(f.sleep) }
+func (f *fakeInstance) Validate() error {
+	return f.fail
+}
+
+func TestMeasureLifecycle(t *testing.T) {
+	inst := &fakeInstance{sleep: time.Millisecond}
+	m := Measure("bench", Aomp, 3, inst, 4)
+	if inst.kernels != 4 {
+		t.Fatalf("kernel ran %d times, want 4", inst.kernels)
+	}
+	if inst.setups != 4 { // initial + one per extra rep
+		t.Fatalf("setup ran %d times, want 4", inst.setups)
+	}
+	if m.Seconds <= 0 {
+		t.Fatal("non-positive time")
+	}
+	if m.Benchmark != "bench" || m.Version != Aomp || m.Threads != 3 {
+		t.Fatalf("metadata wrong: %+v", m)
+	}
+}
+
+func TestMeasureRepsFloor(t *testing.T) {
+	inst := &fakeInstance{}
+	Measure("bench", Seq, 1, inst, 0)
+	if inst.kernels != 1 {
+		t.Fatalf("reps<1 ran kernel %d times", inst.kernels)
+	}
+}
+
+func TestMeasurePropagatesValidation(t *testing.T) {
+	inst := &fakeInstance{fail: errors.New("bad result")}
+	if m := Measure("bench", MT, 2, inst, 1); m.Err == nil {
+		t.Fatal("validation error lost")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	seq := Measurement{Seconds: 2}
+	if s := Speedup(seq, Measurement{Seconds: 1}); s != 2 {
+		t.Fatalf("speedup = %v", s)
+	}
+	if s := Speedup(seq, Measurement{Seconds: 0}); s != 0 {
+		t.Fatalf("zero-time speedup = %v", s)
+	}
+}
+
+func TestTableRenderAndDeltas(t *testing.T) {
+	tab := NewTable()
+	tab.Add(Measurement{Benchmark: "X", Version: Seq, Threads: 1, Seconds: 2.0})
+	tab.Add(Measurement{Benchmark: "X", Version: MT, Threads: 2, Seconds: 1.0})
+	tab.Add(Measurement{Benchmark: "X", Version: Aomp, Threads: 2, Seconds: 1.1})
+	tab.Add(Measurement{Benchmark: "Y", Version: Seq, Threads: 1, Seconds: 1.0})
+	tab.Add(Measurement{Benchmark: "Y", Version: MT, Threads: 2, Seconds: 0.5, Err: errors.New("x")})
+
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "X") || !strings.Contains(out, "2.00x") {
+		t.Fatalf("render missing speedup:\n%s", out)
+	}
+	if !strings.Contains(out, "INVALID") {
+		t.Fatalf("render missing INVALID marker:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("render missing hole marker:\n%s", out)
+	}
+
+	deltas := tab.Deltas(2)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %v, want only X", deltas)
+	}
+	if d := deltas["X"]; d < 0.09 || d > 0.11 {
+		t.Fatalf("delta X = %v, want ≈0.10", d)
+	}
+}

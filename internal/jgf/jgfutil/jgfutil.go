@@ -1,0 +1,74 @@
+// Package jgfutil holds the small helpers the hand-threaded JGF-MT
+// baselines share: a reusable barrier and a block partitioner. The MT
+// versions deliberately do not use the AOmpLib runtime, so the Figure 13
+// comparison pits the aspect library against independent plain-Go
+// threading, as the paper pits AOmpLib against plain Java threads.
+package jgfutil
+
+import "sync"
+
+// Barrier is a reusable counting barrier (mutex + condvar), the direct
+// analogue of the TournamentBarrier/SimpleBarrier the JGF threaded codes
+// use.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	gen     uint64
+}
+
+// NewBarrier creates a barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{parties: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all parties arrive.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Block returns the half-open range [lo,hi) of n items assigned to worker
+// id out of nthreads under an even block distribution (remainder spread
+// over the leading workers).
+func Block(n, nthreads, id int) (lo, hi int) {
+	per, rem := n/nthreads, n%nthreads
+	lo = id * per
+	if id < rem {
+		lo += id
+	} else {
+		lo += rem
+	}
+	hi = lo + per
+	if id < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Run spawns nthreads workers executing body(id) and joins them.
+func Run(nthreads int, body func(id int)) {
+	var wg sync.WaitGroup
+	for id := 0; id < nthreads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			body(id)
+		}(id)
+	}
+	wg.Wait()
+}

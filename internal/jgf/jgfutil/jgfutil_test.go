@@ -1,0 +1,69 @@
+package jgfutil
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestBarrierPhases(t *testing.T) {
+	const n, phases = 4, 50
+	b := NewBarrier(n)
+	var arrived [phases]atomic.Int32
+	Run(n, func(id int) {
+		for p := 0; p < phases; p++ {
+			arrived[p].Add(1)
+			b.Wait()
+			if got := arrived[p].Load(); got != n {
+				t.Errorf("phase %d: %d arrivals visible after barrier", p, got)
+			}
+		}
+	})
+}
+
+func TestRunJoinsAll(t *testing.T) {
+	var count atomic.Int32
+	Run(8, func(id int) { count.Add(1) })
+	if count.Load() != 8 {
+		t.Fatalf("ran %d workers", count.Load())
+	}
+}
+
+func TestRunPassesDistinctIDs(t *testing.T) {
+	var seen [8]atomic.Int32
+	Run(8, func(id int) { seen[id].Add(1) })
+	for id := range seen {
+		if seen[id].Load() != 1 {
+			t.Fatalf("id %d used %d times", id, seen[id].Load())
+		}
+	}
+}
+
+// Property: Block partitions [0,n) into contiguous, disjoint, complete
+// ranges with sizes differing by at most one.
+func TestBlockProperty(t *testing.T) {
+	f := func(n uint16, nth uint8) bool {
+		items := int(n % 5000)
+		workers := int(nth%16) + 1
+		prevHi := 0
+		minSize, maxSize := items+1, -1
+		for id := 0; id < workers; id++ {
+			lo, hi := Block(items, workers, id)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			size := hi - lo
+			if size < minSize {
+				minSize = size
+			}
+			if size > maxSize {
+				maxSize = size
+			}
+			prevHi = hi
+		}
+		return prevHi == items && maxSize-minSize <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package lufact
+
+import (
+	"math"
+	"testing"
+
+	"aomplib/internal/jgf/harness"
+)
+
+func runAll(t *testing.T, p Params, threads int) (*seqInstance, *mtInstance, *aompInstance) {
+	t.Helper()
+	seq := NewSeq(p).(*seqInstance)
+	mt := NewMT(p, threads).(*mtInstance)
+	ao := NewAomp(p, threads).(*aompInstance)
+	for _, in := range []harness.Instance{seq, mt, ao} {
+		in.Setup()
+		in.Kernel()
+		if err := in.Validate(); err != nil {
+			t.Fatalf("validation: %v", err)
+		}
+	}
+	return seq, mt, ao
+}
+
+func TestAllVersionsAgreeBitwise(t *testing.T) {
+	// The elimination arithmetic is identical (per-column ownership), so
+	// factors, pivots and solutions must match bit for bit.
+	seq, mt, ao := runAll(t, SizeTest, 3)
+	for i := range seq.lp.ipvt {
+		if seq.lp.ipvt[i] != mt.lp.ipvt[i] || seq.lp.ipvt[i] != ao.lp.ipvt[i] {
+			t.Fatalf("pivot %d differs: %d %d %d", i, seq.lp.ipvt[i], mt.lp.ipvt[i], ao.lp.ipvt[i])
+		}
+	}
+	for j := range seq.lp.a {
+		for i := range seq.lp.a[j] {
+			if seq.lp.a[j][i] != mt.lp.a[j][i] {
+				t.Fatalf("MT factor differs at col %d row %d", j, i)
+			}
+			if seq.lp.a[j][i] != ao.lp.a[j][i] {
+				t.Fatalf("Aomp factor differs at col %d row %d", j, i)
+			}
+		}
+	}
+	for i := range seq.lp.x {
+		if seq.lp.x[i] != mt.lp.x[i] || seq.lp.x[i] != ao.lp.x[i] {
+			t.Fatalf("solution differs at %d", i)
+		}
+	}
+}
+
+func TestSolutionNearOnes(t *testing.T) {
+	// b was constructed as the row sums of A, so x ≈ 1 everywhere.
+	seq := NewSeq(SizeTest).(*seqInstance)
+	seq.Setup()
+	seq.Kernel()
+	for i, v := range seq.lp.x {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want ≈1", i, v)
+		}
+	}
+}
+
+func TestResidualValidationCatchesCorruption(t *testing.T) {
+	seq := NewSeq(Params{N: 32}).(*seqInstance)
+	seq.Setup()
+	seq.Kernel()
+	seq.lp.x[3] += 0.5 // corrupt the solution
+	if err := seq.Validate(); err == nil {
+		t.Fatal("corrupted solution passed validation")
+	}
+}
+
+func TestIdamax(t *testing.T) {
+	col := []float64{1, -9, 3, 9, -2}
+	if got := idamax(col, 0, len(col)); got != 1 {
+		t.Fatalf("idamax = %d, want 1 (first max magnitude)", got)
+	}
+	if got := idamax(col, 2, len(col)); got != 3 {
+		t.Fatalf("idamax from 2 = %d, want 3", got)
+	}
+}
+
+func TestVariousThreadCounts(t *testing.T) {
+	for _, threads := range []int{1, 2, 4} {
+		seq, _, ao := runAll(t, Params{N: 48}, threads)
+		for i := range seq.lp.x {
+			if seq.lp.x[i] != ao.lp.x[i] {
+				t.Fatalf("threads=%d: solution differs at %d", threads, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package moldyn reproduces the JGF MolDyn benchmark, the paper's central
+// case study (§II, §V, Figs. 2/3/14/15): a Lennard-Jones molecular
+// dynamics simulation of N = 4·mm³ particles on an FCC lattice with
+// periodic boundaries and a radial cutoff, integrated with velocity
+// Verlet.
+//
+// The force computation exploits Newton's third law (forces are
+// symmetric), creating the data race the paper uses to compare dependence-
+// management strategies (Figure 15):
+//
+//   - thread-local force arrays reduced after the loop (the JGF strategy;
+//     Table 2: "PR, FOR (cyclic), 2xTLF"),
+//   - a critical region on the force update,
+//   - one lock per particle.
+//
+// All strategies are pluggable aspects over one base program. Because Go
+// has no field-access joinpoints, the base routes force-buffer access
+// through one accessor joinpoint per worker portion (ForceSink) and
+// commits pair updates through the PairSink interface — the documented
+// substitution for AspectJ's @ThreadLocalField on fields (DESIGN.md §2).
+package moldyn
+
+import (
+	"fmt"
+	"math"
+
+	"aomplib/internal/rng"
+)
+
+// Params sizes the benchmark.
+type Params struct {
+	// MM is the FCC lattice dimension; N = 4·MM³ particles.
+	MM int
+	// Moves is the number of time steps.
+	Moves int
+}
+
+// Problem sizes. The paper's Figure 15 sweeps 864, 2048, 8788, 19652,
+// 256k and 500k particles (MM = 6, 8, 13, 17, 40, 50).
+var (
+	SizeA = Params{MM: 8, Moves: 50}  // 2048 particles (JGF size A)
+	SizeB = Params{MM: 13, Moves: 30} // 8788 particles (JGF size B)
+	// SizeTest keeps unit tests fast.
+	SizeTest = Params{MM: 4, Moves: 8} // 256 particles
+)
+
+// N returns the particle count for the given lattice dimension.
+func (p Params) N() int { return 4 * p.MM * p.MM * p.MM }
+
+// Physical constants (reduced Lennard-Jones units). Density and reference
+// temperature are JGF's; the time step differs because JGF folds a 1/48
+// rescaling into its force convention — with the standard 48·(r⁻¹⁴−½r⁻⁸)
+// force used here, the equivalent stable step is h ≈ 0.004 (documented
+// substitution, DESIGN.md §2).
+const (
+	den        = 0.83134 // density
+	tref       = 0.722   // reference temperature
+	h          = 0.004   // time step
+	relaxEvery = 10      // velocity rescaling interval (steps)
+)
+
+// MolDyn is the base program: particle state plus the global force buffer.
+type MolDyn struct {
+	n     int
+	moves int
+
+	side, sideHalf float64
+	rcoff, rcoffSq float64
+
+	x, y, z    []float64
+	vx, vy, vz []float64
+
+	// f is the global ("object field") force buffer; parallel variants
+	// may replicate it per thread via the ForceSink aspect seam.
+	f *Forces
+
+	// Reduction targets.
+	ekin float64 // per-step kinetic-energy accumulator (2·KE)
+	sc   float64 // velocity scale factor decided by temperature control
+
+	// Step bookkeeping for temperature control and diagnostics.
+	step      int
+	epotTotal float64
+	ekinTotal float64
+	virTotal  float64
+}
+
+// New builds the base program: FCC lattice positions and Maxwell
+// (Gaussian) velocities with zero net momentum, rescaled to tref.
+func New(p Params) *MolDyn {
+	n := p.N()
+	md := &MolDyn{
+		n:     n,
+		moves: p.Moves,
+		x:     make([]float64, n), y: make([]float64, n), z: make([]float64, n),
+		vx: make([]float64, n), vy: make([]float64, n), vz: make([]float64, n),
+		f:  NewForces(n),
+		sc: 1,
+	}
+	md.side = math.Cbrt(float64(n) / den)
+	md.sideHalf = md.side / 2
+
+	a := md.side / float64(p.MM)
+	// JGF cutoff mm/4, floored so tiny test lattices still interact (the
+	// FCC nearest-neighbour distance is a/√2) and capped at half the box
+	// for the minimum-image convention.
+	md.rcoff = float64(p.MM) / 4.0
+	if floor := 1.3 * a / math.Sqrt2; md.rcoff < floor {
+		md.rcoff = floor
+	}
+	if md.rcoff > md.sideHalf {
+		md.rcoff = md.sideHalf
+	}
+	md.rcoffSq = md.rcoff * md.rcoff
+	offsets := [4][3]float64{{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}}
+	idx := 0
+	for _, o := range offsets {
+		for i := 0; i < p.MM; i++ {
+			for j := 0; j < p.MM; j++ {
+				for k := 0; k < p.MM; k++ {
+					md.x[idx] = (float64(i) + o[0]) * a
+					md.y[idx] = (float64(j) + o[1]) * a
+					md.z[idx] = (float64(k) + o[2]) * a
+					idx++
+				}
+			}
+		}
+	}
+
+	r := rng.New(6457)
+	var sx, sy, sz float64
+	for i := 0; i < n; i++ {
+		md.vx[i] = r.NextGaussian()
+		md.vy[i] = r.NextGaussian()
+		md.vz[i] = r.NextGaussian()
+		sx += md.vx[i]
+		sy += md.vy[i]
+		sz += md.vz[i]
+	}
+	// Zero net momentum, then rescale to the reference temperature.
+	var v2 float64
+	for i := 0; i < n; i++ {
+		md.vx[i] -= sx / float64(n)
+		md.vy[i] -= sy / float64(n)
+		md.vz[i] -= sz / float64(n)
+		v2 += md.vx[i]*md.vx[i] + md.vy[i]*md.vy[i] + md.vz[i]*md.vz[i]
+	}
+	sc := math.Sqrt(3 * float64(n) * tref / v2)
+	for i := 0; i < n; i++ {
+		md.vx[i] *= sc
+		md.vy[i] *= sc
+		md.vz[i] *= sc
+	}
+	return md
+}
+
+// minImage folds a displacement into the nearest periodic image.
+func (md *MolDyn) minImage(d float64) float64 {
+	if d > md.sideHalf {
+		return d - md.side
+	}
+	if d < -md.sideHalf {
+		return d + md.side
+	}
+	return d
+}
+
+// KickDrift is the first Verlet half step for particles [lo,hi): half
+// velocity kick with the current forces, then position drift with
+// periodic wrapping (the paper's domove).
+func (md *MolDyn) KickDrift(lo, hi, step int) {
+	for i := lo; i < hi; i += step {
+		md.vx[i] += 0.5 * h * md.f.X[i]
+		md.vy[i] += 0.5 * h * md.f.Y[i]
+		md.vz[i] += 0.5 * h * md.f.Z[i]
+		md.x[i] = wrap(md.x[i]+h*md.vx[i], md.side)
+		md.y[i] = wrap(md.y[i]+h*md.vy[i], md.side)
+		md.z[i] = wrap(md.z[i]+h*md.vz[i], md.side)
+	}
+}
+
+func wrap(v, side float64) float64 {
+	if v >= side {
+		return v - side
+	}
+	if v < 0 {
+		return v + side
+	}
+	return v
+}
+
+// ClearForces zeroes the global force buffer rows [lo,hi) so the pair
+// sinks can accumulate the new step's forces.
+func (md *MolDyn) ClearForces(lo, hi, step int) {
+	for i := lo; i < hi; i += step {
+		md.f.X[i], md.f.Y[i], md.f.Z[i] = 0, 0, 0
+	}
+}
+
+// ClearEnergies zeroes the global pair-energy accumulators (a master
+// operation between barriers).
+func (md *MolDyn) ClearEnergies() {
+	md.f.Epot, md.f.Vir = 0, 0
+}
+
+// ForceRow computes all interactions of particle i with particles j > i
+// (Newton's third law halves the pair loop — the source of the data
+// race), committing updates through sink.
+func (md *MolDyn) ForceRow(i int, sink PairSink) {
+	xi, yi, zi := md.x[i], md.y[i], md.z[i]
+	var fxi, fyi, fzi, epot, vir float64
+	for j := i + 1; j < md.n; j++ {
+		dx := md.minImage(xi - md.x[j])
+		dy := md.minImage(yi - md.y[j])
+		dz := md.minImage(zi - md.z[j])
+		r2 := dx*dx + dy*dy + dz*dz
+		if r2 >= md.rcoffSq {
+			continue
+		}
+		r2i := 1 / r2
+		r6 := r2i * r2i * r2i
+		epot += 4 * r6 * (r6 - 1)
+		wij := 48 * r6 * (r6 - 0.5) * r2i
+		vir -= wij * r2
+		fx, fy, fz := wij*dx, wij*dy, wij*dz
+		fxi += fx
+		fyi += fy
+		fzi += fz
+		sink.Apply(j, -fx, -fy, -fz) // third Newton law (paper Fig. 14)
+	}
+	sink.Apply(i, fxi, fyi, fzi)
+	sink.AddEnergy(epot, vir)
+}
+
+// ComputeForces is the cyclic for method over particle rows: row cost
+// shrinks with i (j > i), so the paper distributes rows cyclically.
+func (md *MolDyn) ComputeForces(lo, hi, step int, sink PairSink) {
+	for i := lo; i < hi; i += step {
+		md.ForceRow(i, sink)
+	}
+}
+
+// ReduceForces folds per-thread force buffers (if any) into the global
+// buffer for particles [lo,hi) and clears them for the next step. With no
+// private buffers (sequential, critical, per-particle-lock variants) it is
+// a no-op.
+func (md *MolDyn) ReduceForces(lo, hi, step int, bufs []*Forces) {
+	for _, b := range bufs {
+		for i := lo; i < hi; i += step {
+			md.f.X[i] += b.X[i]
+			md.f.Y[i] += b.Y[i]
+			md.f.Z[i] += b.Z[i]
+			b.X[i], b.Y[i], b.Z[i] = 0, 0, 0
+		}
+	}
+}
+
+// MergeEnergies folds per-thread pair-energy partials into the global
+// buffer (a master operation).
+func (md *MolDyn) MergeEnergies(bufs []*Forces) {
+	for _, b := range bufs {
+		md.f.Epot += b.Epot
+		md.f.Vir += b.Vir
+		b.Epot, b.Vir = 0, 0
+	}
+}
+
+// Kick is the second Verlet half step for particles [lo,hi); it returns
+// the partial squared-velocity sum the caller accumulates into the ekin
+// reduction target.
+func (md *MolDyn) Kick(lo, hi, step int) float64 {
+	var v2 float64
+	for i := lo; i < hi; i += step {
+		md.vx[i] += 0.5 * h * md.f.X[i]
+		md.vy[i] += 0.5 * h * md.f.Y[i]
+		md.vz[i] += 0.5 * h * md.f.Z[i]
+		v2 += md.vx[i]*md.vx[i] + md.vy[i]*md.vy[i] + md.vz[i]*md.vz[i]
+	}
+	return v2
+}
+
+// TemperatureControl consumes the reduced ekin accumulator: every
+// relaxEvery steps it derives the velocity scale restoring tref, and it
+// folds the step energies into the run totals (a master operation).
+func (md *MolDyn) TemperatureControl() {
+	md.step++
+	ke := 0.5 * md.ekin
+	md.ekinTotal = ke
+	md.epotTotal = md.f.Epot
+	md.virTotal = md.f.Vir
+	if md.step%relaxEvery == 0 {
+		temp := md.ekin / (3 * float64(md.n))
+		md.sc = math.Sqrt(tref / temp)
+	} else {
+		md.sc = 1
+	}
+	md.ekin = 0
+}
+
+// ScaleVelocities applies the velocity rescaling decided by
+// TemperatureControl to particles [lo,hi).
+func (md *MolDyn) ScaleVelocities(lo, hi, step int) {
+	if md.sc == 1 {
+		return
+	}
+	for i := lo; i < hi; i += step {
+		md.vx[i] *= md.sc
+		md.vy[i] *= md.sc
+		md.vz[i] *= md.sc
+	}
+}
+
+// Energies returns the last step's kinetic and potential energy and the
+// virial — the quantities compared across versions.
+func (md *MolDyn) Energies() (ekin, epot, vir float64) {
+	return md.ekinTotal, md.epotTotal, md.virTotal
+}
+
+// validate checks physical invariants: finite energies, non-zero
+// interactions and near-zero total force (Newton's third law makes pair
+// contributions cancel exactly in exact arithmetic).
+func (md *MolDyn) validate() error {
+	ekin, epot, _ := md.Energies()
+	if math.IsNaN(ekin) || math.IsNaN(epot) || ekin <= 0 || epot == 0 {
+		return fmt.Errorf("moldyn: degenerate energies ekin=%v epot=%v", ekin, epot)
+	}
+	var fx, fy, fz, scale float64
+	for i := 0; i < md.n; i++ {
+		fx += md.f.X[i]
+		fy += md.f.Y[i]
+		fz += md.f.Z[i]
+		scale += math.Abs(md.f.X[i]) + math.Abs(md.f.Y[i]) + math.Abs(md.f.Z[i])
+	}
+	tol := 1e-9 * (scale + 1)
+	if math.Abs(fx) > tol || math.Abs(fy) > tol || math.Abs(fz) > tol {
+		return fmt.Errorf("moldyn: total force (%g,%g,%g) not conserved (tol %g)", fx, fy, fz, tol)
+	}
+	return nil
+}

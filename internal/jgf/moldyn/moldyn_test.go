@@ -1,0 +1,157 @@
+package moldyn
+
+import (
+	"math"
+	"testing"
+
+	"aomplib/internal/jgf/harness"
+)
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+type energied interface {
+	harness.Instance
+	Energies() (float64, float64, float64)
+}
+
+func runOne(t *testing.T, in energied) (ekin, epot, vir float64) {
+	t.Helper()
+	in.Setup()
+	in.Kernel()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("validation: %v", err)
+	}
+	return in.Energies()
+}
+
+// Force reductions reorder floating-point sums, so cross-version energies
+// agree to tight tolerance rather than bitwise.
+const tol = 1e-9
+
+func TestMTMatchesSequential(t *testing.T) {
+	ek0, ep0, _ := runOne(t, NewSeq(SizeTest).(*seqInstance))
+	ek1, ep1, _ := runOne(t, NewMT(SizeTest, 3).(*mtInstance))
+	if relDiff(ek0, ek1) > tol || relDiff(ep0, ep1) > tol {
+		t.Fatalf("MT energies diverge: ekin %v vs %v, epot %v vs %v", ek0, ek1, ep0, ep1)
+	}
+}
+
+func TestAompStrategiesMatchSequential(t *testing.T) {
+	ek0, ep0, _ := runOne(t, NewSeq(SizeTest).(*seqInstance))
+	for _, strat := range []Strategy{ThreadLocalStrategy, CriticalStrategy, LockPerParticleStrategy} {
+		ek, ep, _ := runOne(t, NewAomp(SizeTest, 3, strat).(*aompInstance))
+		if relDiff(ek0, ek) > tol || relDiff(ep0, ep) > tol {
+			t.Fatalf("%v energies diverge: ekin %v vs %v, epot %v vs %v",
+				strat, ek0, ek, ep0, ep)
+		}
+	}
+}
+
+func TestLatticeDensity(t *testing.T) {
+	md := New(SizeTest)
+	if md.n != SizeTest.N() {
+		t.Fatalf("n = %d, want %d", md.n, SizeTest.N())
+	}
+	vol := md.side * md.side * md.side
+	if relDiff(float64(md.n)/vol, den) > 1e-12 {
+		t.Fatalf("density %v, want %v", float64(md.n)/vol, den)
+	}
+	for i := 0; i < md.n; i++ {
+		if md.x[i] < 0 || md.x[i] >= md.side || md.y[i] < 0 || md.y[i] >= md.side {
+			t.Fatalf("particle %d outside box", i)
+		}
+	}
+}
+
+func TestInitialMomentumZero(t *testing.T) {
+	md := New(SizeTest)
+	var px, py, pz float64
+	for i := 0; i < md.n; i++ {
+		px += md.vx[i]
+		py += md.vy[i]
+		pz += md.vz[i]
+	}
+	if math.Abs(px) > 1e-9 || math.Abs(py) > 1e-9 || math.Abs(pz) > 1e-9 {
+		t.Fatalf("net momentum (%g,%g,%g)", px, py, pz)
+	}
+}
+
+func TestInitialTemperature(t *testing.T) {
+	md := New(SizeTest)
+	var v2 float64
+	for i := 0; i < md.n; i++ {
+		v2 += md.vx[i]*md.vx[i] + md.vy[i]*md.vy[i] + md.vz[i]*md.vz[i]
+	}
+	temp := v2 / (3 * float64(md.n))
+	if relDiff(temp, tref) > 1e-12 {
+		t.Fatalf("initial temperature %v, want %v", temp, tref)
+	}
+}
+
+func TestMinImage(t *testing.T) {
+	md := New(SizeTest)
+	if got := md.minImage(md.side*0.75 - 0); got >= md.sideHalf {
+		t.Fatalf("minImage did not fold: %v", got)
+	}
+	if got := md.minImage(0.1); got != 0.1 {
+		t.Fatalf("minImage changed small displacement: %v", got)
+	}
+}
+
+func TestSinksEquivalent(t *testing.T) {
+	// All three sinks must accumulate identical forces for a serial
+	// workload.
+	n := 64
+	ref := NewForces(n)
+	crit := NewForces(n)
+	table := NewForces(n)
+	cs := NewCriticalSink(crit)
+	ts := NewLockTableSink(table)
+	for i := 0; i < 1000; i++ {
+		j := i % n
+		fx, fy, fz := float64(i)*0.5, -float64(i), float64(i%7)
+		ref.Apply(j, fx, fy, fz)
+		cs.Apply(j, fx, fy, fz)
+		ts.Apply(j, fx, fy, fz)
+		ref.AddEnergy(0.1, -0.2)
+		cs.AddEnergy(0.1, -0.2)
+		ts.AddEnergy(0.1, -0.2)
+	}
+	for j := 0; j < n; j++ {
+		if ref.X[j] != crit.X[j] || ref.X[j] != table.X[j] {
+			t.Fatalf("sink forces differ at %d", j)
+		}
+	}
+	if ref.Epot != crit.Epot || ref.Epot != table.Epot {
+		t.Fatal("sink energies differ")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if ThreadLocalStrategy.String() != "ThreadLocal" ||
+		CriticalStrategy.String() != "Critical" ||
+		LockPerParticleStrategy.String() != "Locks" {
+		t.Fatal("strategy names wrong")
+	}
+}
+
+func TestEnergyConservationLoose(t *testing.T) {
+	// Without rescaling steps in between, total energy drifts only
+	// slightly over a few steps at this time step.
+	p := Params{MM: 3, Moves: 5}
+	seq := NewSeq(p).(*seqInstance)
+	seq.Setup()
+	seq.Kernel()
+	ek, ep, _ := seq.Energies()
+	total := ek + ep
+	if math.IsNaN(total) || math.Abs(total) > 1e6 {
+		t.Fatalf("energy blew up: %v", total)
+	}
+}

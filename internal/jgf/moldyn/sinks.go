@@ -1,0 +1,102 @@
+package moldyn
+
+import (
+	"sync"
+
+	"aomplib/internal/rt"
+)
+
+// PairSink is the dependence-management seam of the force kernel: every
+// force write and pair-energy contribution flows through it. It is the Go
+// analogue of the field joinpoints AOmpLib's @ThreadLocalField/@Critical
+// aspects intercept in Java — the parallelisation strategies of Figure 15
+// differ only in which sink the woven ForceSink accessor returns, leaving
+// the base kernel untouched.
+type PairSink interface {
+	// Apply adds (fx,fy,fz) to particle j's force.
+	Apply(j int, fx, fy, fz float64)
+	// AddEnergy accumulates one row's potential-energy and virial partials.
+	AddEnergy(epot, vir float64)
+}
+
+// Forces is a force buffer with pair-energy accumulators. It is itself a
+// PairSink (unsynchronised direct writes) — the sequential sink and the
+// per-thread replica of the thread-local strategy.
+type Forces struct {
+	X, Y, Z []float64
+	Epot    float64
+	Vir     float64
+}
+
+// NewForces allocates a zeroed buffer for n particles.
+func NewForces(n int) *Forces {
+	return &Forces{X: make([]float64, n), Y: make([]float64, n), Z: make([]float64, n)}
+}
+
+// Apply implements PairSink with plain writes.
+func (f *Forces) Apply(j int, fx, fy, fz float64) {
+	f.X[j] += fx
+	f.Y[j] += fy
+	f.Z[j] += fz
+}
+
+// AddEnergy implements PairSink with plain accumulation.
+func (f *Forces) AddEnergy(epot, vir float64) {
+	f.Epot += epot
+	f.Vir += vir
+}
+
+// CriticalSink serialises every force update through one mutex — the
+// Figure 15 "Critical" strategy ("the use of a critical region on force
+// update"). Cheap in memory, contended under many threads.
+type CriticalSink struct {
+	mu sync.Mutex
+	f  *Forces
+}
+
+// NewCriticalSink wraps the global buffer with a single critical region.
+func NewCriticalSink(f *Forces) *CriticalSink { return &CriticalSink{f: f} }
+
+// Apply implements PairSink under the global lock.
+func (s *CriticalSink) Apply(j int, fx, fy, fz float64) {
+	s.mu.Lock()
+	s.f.Apply(j, fx, fy, fz)
+	s.mu.Unlock()
+}
+
+// AddEnergy implements PairSink under the global lock.
+func (s *CriticalSink) AddEnergy(epot, vir float64) {
+	s.mu.Lock()
+	s.f.AddEnergy(epot, vir)
+	s.mu.Unlock()
+}
+
+// LockTableSink guards each particle with its own lock — the Figure 15
+// "Locks" strategy ("the use of a lock per particle"). Disjoint updates
+// proceed in parallel; memory cost is one lock per particle instead of one
+// buffer per thread.
+type LockTableSink struct {
+	table *rt.LockTable
+	emu   sync.Mutex
+	f     *Forces
+}
+
+// NewLockTableSink wraps the global buffer with one lock per particle.
+func NewLockTableSink(f *Forces) *LockTableSink {
+	return &LockTableSink{table: rt.NewLockTable(len(f.X)), f: f}
+}
+
+// Apply implements PairSink under particle j's lock.
+func (s *LockTableSink) Apply(j int, fx, fy, fz float64) {
+	s.table.Lock(j)
+	s.f.Apply(j, fx, fy, fz)
+	s.table.Unlock(j)
+}
+
+// AddEnergy implements PairSink under a dedicated energy lock (row
+// granularity: once per particle row, negligible contention).
+func (s *LockTableSink) AddEnergy(epot, vir float64) {
+	s.emu.Lock()
+	s.f.AddEnergy(epot, vir)
+	s.emu.Unlock()
+}

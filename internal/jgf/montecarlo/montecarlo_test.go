@@ -1,0 +1,74 @@
+package montecarlo
+
+import (
+	"testing"
+
+	"aomplib/internal/jgf/harness"
+)
+
+type resulted interface {
+	harness.Instance
+	Result() float64
+}
+
+func runOne(t *testing.T, in resulted) float64 {
+	t.Helper()
+	in.Setup()
+	in.Kernel()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("validation: %v", err)
+	}
+	return in.Result()
+}
+
+func TestAllVersionsAgreeBitwise(t *testing.T) {
+	// Per-run seeding makes results independent of which thread runs a
+	// path, and the final average is computed serially, so all versions
+	// agree exactly.
+	seq := runOne(t, NewSeq(SizeTest).(*seqInstance))
+	mt := runOne(t, NewMT(SizeTest, 3).(*mtInstance))
+	ao := runOne(t, NewAomp(SizeTest, 3).(*aompInstance))
+	if seq != mt {
+		t.Fatalf("MT result %v differs from sequential %v", mt, seq)
+	}
+	if seq != ao {
+		t.Fatalf("Aomp result %v differs from sequential %v", ao, seq)
+	}
+}
+
+func TestResultScale(t *testing.T) {
+	got := runOne(t, NewSeq(SizeTest).(*seqInstance))
+	if got < 0.01 || got > 1.0 {
+		t.Fatalf("priced rate %v outside plausible band", got)
+	}
+}
+
+func TestRunsAreDeterministicPerIndex(t *testing.T) {
+	mc1 := New(SizeTest)
+	mc2 := New(SizeTest)
+	mc1.RunPath(7)
+	mc1.RunPath(3)
+	mc2.RunPath(3) // opposite order
+	mc2.RunPath(7)
+	if mc1.results[7] != mc2.results[7] || mc1.results[3] != mc2.results[3] {
+		t.Fatal("run results depend on execution order")
+	}
+}
+
+func TestEstimatorsFinite(t *testing.T) {
+	mc := New(SizeTest)
+	if mc.sigma <= 0 || mc.sigma > 2 {
+		t.Fatalf("sigma = %v", mc.sigma)
+	}
+	if mc.mu < -2 || mc.mu > 2 {
+		t.Fatalf("mu = %v", mc.mu)
+	}
+}
+
+func TestManyThreads(t *testing.T) {
+	seq := runOne(t, NewSeq(Params{Runs: 37, Steps: 50}).(*seqInstance))
+	ao := runOne(t, NewAomp(Params{Runs: 37, Steps: 50}, 8).(*aompInstance))
+	if seq != ao {
+		t.Fatal("oversubscribed Aomp differs")
+	}
+}

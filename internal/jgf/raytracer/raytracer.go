@@ -1,0 +1,249 @@
+// Package raytracer reproduces the JGF RayTracer benchmark: a Whitted-
+// style recursive ray tracer rendering the suite's canonical scene of 64
+// spheres arranged in a 4×4×4 grid under two point lights. Rows are
+// rendered independently and cost varies with scene coverage, so the
+// paper distributes them cyclically; the per-thread pixel checksum is a
+// thread-local field reduced at the end (Table 2: "PR, FOR (cyclic),
+// TLF"; refactoring M2FOR).
+//
+// The checksum is an integer sum of quantised pixel channels, so it is
+// identical across all versions regardless of execution order.
+package raytracer
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Vec is a 3-component vector.
+type Vec struct{ X, Y, Z float64 }
+
+// Add returns v + o.
+func (v Vec) Add(o Vec) Vec { return Vec{v.X + o.X, v.Y + o.Y, v.Z + o.Z} }
+
+// Sub returns v - o.
+func (v Vec) Sub(o Vec) Vec { return Vec{v.X - o.X, v.Y - o.Y, v.Z - o.Z} }
+
+// Scale returns v * s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns v · o.
+func (v Vec) Dot(o Vec) float64 { return v.X*o.X + v.Y*o.Y + v.Z*o.Z }
+
+// Norm returns v normalised (zero vector is returned unchanged).
+func (v Vec) Norm() Vec {
+	l := math.Sqrt(v.Dot(v))
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Mul returns the component-wise product (colour filtering).
+func (v Vec) Mul(o Vec) Vec { return Vec{v.X * o.X, v.Y * o.Y, v.Z * o.Z} }
+
+// Ray is an origin and unit direction.
+type Ray struct{ Org, Dir Vec }
+
+// Surface holds the Phong material of a sphere.
+type Surface struct {
+	Color          Vec
+	Kd, Ks, Shine  float64
+	Reflectiveness float64
+}
+
+// Sphere is the only primitive the JGF scene needs.
+type Sphere struct {
+	Center Vec
+	Radius float64
+	Mat    Surface
+}
+
+// intersect returns the smallest positive ray parameter hitting s, or -1.
+func (s *Sphere) intersect(r Ray) float64 {
+	oc := r.Org.Sub(s.Center)
+	b := 2 * oc.Dot(r.Dir)
+	c := oc.Dot(oc) - s.Radius*s.Radius
+	disc := b*b - 4*c
+	if disc < 0 {
+		return -1
+	}
+	sq := math.Sqrt(disc)
+	if t := (-b - sq) / 2; t > 1e-9 {
+		return t
+	}
+	if t := (-b + sq) / 2; t > 1e-9 {
+		return t
+	}
+	return -1
+}
+
+// Light is a point light.
+type Light struct {
+	Pos       Vec
+	Intensity float64
+}
+
+// Scene is the render input.
+type Scene struct {
+	Spheres []Sphere
+	Lights  []Light
+	Eye     Vec
+	Ambient float64
+}
+
+// NewScene builds the canonical 64-sphere scene.
+func NewScene() *Scene {
+	sc := &Scene{
+		Eye:     Vec{0, 0, -30},
+		Ambient: 0.12,
+		Lights: []Light{
+			{Pos: Vec{-20, 30, -25}, Intensity: 0.9},
+			{Pos: Vec{25, 18, -30}, Intensity: 0.6},
+		},
+	}
+	idx := 0
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				col := Vec{
+					0.3 + 0.7*float64(i)/3,
+					0.3 + 0.7*float64(j)/3,
+					0.3 + 0.7*float64(k)/3,
+				}
+				sc.Spheres = append(sc.Spheres, Sphere{
+					Center: Vec{
+						float64(i)*6 - 9,
+						float64(j)*6 - 9,
+						float64(k)*6 + 10,
+					},
+					Radius: 2.0 + 0.5*float64((idx*7)%3),
+					Mat: Surface{
+						Color: col, Kd: 0.7, Ks: 0.3, Shine: 15,
+						Reflectiveness: 0.25 + 0.05*float64(idx%4),
+					},
+				})
+				idx++
+			}
+		}
+	}
+	return sc
+}
+
+const maxDepth = 4
+
+// trace returns the colour seen along r.
+func (sc *Scene) trace(r Ray, depth int) Vec {
+	bestT := math.Inf(1)
+	var hit *Sphere
+	for i := range sc.Spheres {
+		if t := sc.Spheres[i].intersect(r); t > 0 && t < bestT {
+			bestT, hit = t, &sc.Spheres[i]
+		}
+	}
+	if hit == nil {
+		return Vec{} // background: black
+	}
+	p := r.Org.Add(r.Dir.Scale(bestT))
+	n := p.Sub(hit.Center).Norm()
+	if n.Dot(r.Dir) > 0 {
+		n = n.Scale(-1)
+	}
+	col := hit.Mat.Color.Scale(sc.Ambient)
+	for _, l := range sc.Lights {
+		ld := l.Pos.Sub(p)
+		dist := math.Sqrt(ld.Dot(ld))
+		ldir := ld.Scale(1 / dist)
+		diff := n.Dot(ldir)
+		if diff <= 0 {
+			continue
+		}
+		if sc.occluded(Ray{Org: p.Add(ldir.Scale(1e-6)), Dir: ldir}, dist) {
+			continue
+		}
+		col = col.Add(hit.Mat.Color.Scale(hit.Mat.Kd * diff * l.Intensity))
+		// Phong specular highlight.
+		refl := ldir.Sub(n.Scale(2 * ldir.Dot(n))).Norm()
+		if spec := refl.Dot(r.Dir); spec > 0 {
+			s := math.Pow(spec, hit.Mat.Shine) * hit.Mat.Ks * l.Intensity
+			col = col.Add(Vec{s, s, s})
+		}
+	}
+	if depth < maxDepth && hit.Mat.Reflectiveness > 0 {
+		rdir := r.Dir.Sub(n.Scale(2 * r.Dir.Dot(n))).Norm()
+		rcol := sc.trace(Ray{Org: p.Add(rdir.Scale(1e-6)), Dir: rdir}, depth+1)
+		col = col.Add(rcol.Mul(hit.Mat.Color).Scale(hit.Mat.Reflectiveness))
+	}
+	return col
+}
+
+// occluded reports whether anything blocks the segment of length dist.
+func (sc *Scene) occluded(r Ray, dist float64) bool {
+	for i := range sc.Spheres {
+		if t := sc.Spheres[i].intersect(r); t > 0 && t < dist {
+			return true
+		}
+	}
+	return false
+}
+
+// RayTracer is the base program.
+type RayTracer struct {
+	scene         *Scene
+	width, height int
+	// checksum is the global reduction target; parallel versions
+	// accumulate per-thread partials and fold them in.
+	checksum atomic.Int64
+}
+
+// NewTracer builds the base program.
+func NewTracer(width, height int) *RayTracer {
+	return &RayTracer{scene: NewScene(), width: width, height: height}
+}
+
+func quantize(v float64) int64 {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return int64(v * 255)
+}
+
+// RenderRow renders row y and returns its integer checksum contribution.
+func (rt *RayTracer) RenderRow(y int) int64 {
+	sc := rt.scene
+	var sum int64
+	fw, fh := float64(rt.width), float64(rt.height)
+	viewSize := 25.0
+	for x := 0; x < rt.width; x++ {
+		px := (float64(x)/fw - 0.5) * viewSize
+		py := (0.5 - float64(y)/fh) * viewSize
+		dir := Vec{px, py, 0}.Sub(sc.Eye).Norm()
+		c := sc.trace(Ray{Org: sc.Eye, Dir: dir}, 0)
+		sum += quantize(c.X) + quantize(c.Y) + quantize(c.Z)
+	}
+	return sum
+}
+
+// Checksum returns the accumulated image checksum.
+func (rt *RayTracer) Checksum() int64 { return rt.checksum.Load() }
+
+// AddChecksum folds a partial checksum into the global one.
+func (rt *RayTracer) AddChecksum(v int64) { rt.checksum.Add(v) }
+
+// Validate checks the checksum is non-trivial (scene visible) and stable
+// bounds hold; exact cross-version equality is asserted by the tests.
+func (rt *RayTracer) Validate() error {
+	cs := rt.Checksum()
+	if cs <= 0 {
+		return fmt.Errorf("raytracer: empty image (checksum %d)", cs)
+	}
+	max := int64(rt.width*rt.height) * 3 * 255
+	if cs > max {
+		return fmt.Errorf("raytracer: checksum %d exceeds maximum %d", cs, max)
+	}
+	return nil
+}

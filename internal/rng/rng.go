@@ -1,0 +1,111 @@
+// Package rng reimplements the random number generator the JGF benchmarks
+// rely on: the 48-bit linear congruential generator of java.util.Random
+// (Knuth/POSIX drand48 family), including Gaussian deviates via the
+// Marsaglia polar method, exactly as java.util.Random.nextGaussian does.
+//
+// Reproducing the generator bit-for-bit keeps the benchmark workloads and
+// their validation checksums deterministic and comparable across the
+// sequential, hand-threaded and aspect-woven versions.
+package rng
+
+import "math"
+
+const (
+	multiplier = 0x5DEECE66D
+	addend     = 0xB
+	mask       = (1 << 48) - 1
+)
+
+// Random is a java.util.Random-compatible generator. It is not safe for
+// concurrent use; parallel benchmark variants give each activity its own
+// seeded instance, exactly as the JGF codes do.
+type Random struct {
+	seed         int64
+	haveNextNext bool
+	nextNext     float64
+}
+
+// New creates a generator with the given seed (java.util.Random(seed)).
+func New(seed int64) *Random {
+	return &Random{seed: (seed ^ multiplier) & mask}
+}
+
+// next returns the high `bits` bits of the next LCG state, as
+// java.util.Random.next(int).
+func (r *Random) next(bits uint) int32 {
+	r.seed = (r.seed*multiplier + addend) & mask
+	return int32(r.seed >> (48 - bits))
+}
+
+// NextInt returns the next pseudorandom int32.
+func (r *Random) NextInt() int32 { return r.next(32) }
+
+// NextIntN returns a uniform int in [0, n), following java.util.Random's
+// rejection algorithm.
+func (r *Random) NextIntN(n int32) int32 {
+	if n <= 0 {
+		panic("rng: NextIntN bound must be positive")
+	}
+	if n&-n == n { // power of two
+		return int32((int64(n) * int64(r.next(31))) >> 31)
+	}
+	for {
+		bits := r.next(31)
+		val := bits % n
+		if bits-val+(n-1) >= 0 {
+			return val
+		}
+	}
+}
+
+// NextLong returns the next pseudorandom int64.
+func (r *Random) NextLong() int64 {
+	return int64(r.next(32))<<32 + int64(r.next(32))
+}
+
+// NextDouble returns a uniform double in [0,1), bit-compatible with
+// java.util.Random.nextDouble.
+func (r *Random) NextDouble() float64 {
+	return float64(int64(r.next(26))<<27+int64(r.next(27))) / float64(1<<53)
+}
+
+// NextFloat returns a uniform float32 in [0,1).
+func (r *Random) NextFloat() float32 {
+	return float32(r.next(24)) / float32(1<<24)
+}
+
+// NextBoolean returns the next pseudorandom boolean.
+func (r *Random) NextBoolean() bool { return r.next(1) != 0 }
+
+// NextGaussian returns a standard normal deviate using the polar method,
+// bit-compatible with java.util.Random.nextGaussian.
+func (r *Random) NextGaussian() float64 {
+	if r.haveNextNext {
+		r.haveNextNext = false
+		return r.nextNext
+	}
+	for {
+		v1 := 2*r.NextDouble() - 1
+		v2 := 2*r.NextDouble() - 1
+		s := v1*v1 + v2*v2
+		if s >= 1 || s == 0 {
+			continue
+		}
+		mul := math.Sqrt(-2 * math.Log(s) / s)
+		r.nextNext = v2 * mul
+		r.haveNextNext = true
+		return v1 * mul
+	}
+}
+
+// SetSeed reseeds the generator (java.util.Random.setSeed), clearing the
+// cached Gaussian.
+func (r *Random) SetSeed(seed int64) {
+	r.seed = (seed ^ multiplier) & mask
+	r.haveNextNext = false
+}
+
+// UpdateSeed advances the seed as the JGF MonteCarlo kernel does between
+// runs (seed = seed + 1 per path), provided here so both the sequential
+// and parallel variants derive identical per-path generators.
+func UpdateSeed(base int64, k int) int64 { return base + int64(k) }

@@ -1,0 +1,61 @@
+// Package rt implements AOmpLib's execution model (paper §III.A): parallel
+// regions executed by a team of workers created on region entry, with the
+// master thread participating as worker 0 and joining the spawned workers
+// at region exit (paper Fig. 9). It also provides the shared state behind
+// the synchronisation constructs: a team barrier, per-construct instance
+// tracking (so that repeated encounters of the same work-sharing or single
+// construct inside one region stay matched across workers), named and
+// per-object critical locks, task groups and futures.
+package rt
+
+import "sync"
+
+// Barrier is a reusable team barrier with generation counting (equivalent
+// to a sense-reversing barrier). Each call to Wait blocks until all n
+// parties have arrived; the barrier then resets for the next phase.
+//
+// Its scope is one team of threads, matching the paper: "The barrier has
+// the scope of a team of threads, in a way similar to OpenMP (this
+// contrasts with @Critical whose scope is all threads in the system)."
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	gen     uint64
+}
+
+// NewBarrier creates a barrier for the given number of parties (≥ 1).
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		parties = 1
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks the caller until all parties have called Wait for the
+// current generation. The last arriver releases everyone and resets the
+// barrier. Returns the generation index that completed, which is useful
+// for tests and phase-counting diagnostics.
+func (b *Barrier) Wait() uint64 {
+	b.mu.Lock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return gen
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	return gen
+}
+
+// Parties returns the number of workers the barrier synchronises.
+func (b *Barrier) Parties() int { return b.parties }

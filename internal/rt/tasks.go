@@ -1,0 +1,160 @@
+package rt
+
+import "sync"
+
+// TaskGroup tracks asynchronous activities spawned by the @Task and
+// @FutureTask constructs. Unlike sync.WaitGroup it tolerates Add after a
+// concurrent Wait has begun (new tasks simply extend the wait), which is
+// the semantics @TaskWait needs when tasks spawn tasks.
+type TaskGroup struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int
+}
+
+// NewTaskGroup returns an empty group.
+func NewTaskGroup() *TaskGroup {
+	g := &TaskGroup{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Add registers n new pending tasks.
+func (g *TaskGroup) Add(n int) {
+	g.mu.Lock()
+	g.pending += n
+	g.mu.Unlock()
+}
+
+// Done marks one task complete.
+func (g *TaskGroup) Done() {
+	g.mu.Lock()
+	g.pending--
+	if g.pending < 0 {
+		g.mu.Unlock()
+		panic("rt: TaskGroup counter went negative")
+	}
+	if g.pending == 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// Wait blocks until no tasks are pending — the join point between the
+// spawning and the spawned activities (@TaskWait).
+func (g *TaskGroup) Wait() {
+	g.mu.Lock()
+	for g.pending > 0 {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// Pending reports the number of outstanding tasks (diagnostics/tests).
+func (g *TaskGroup) Pending() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.pending
+}
+
+// globalTasks serves @Task used outside any parallel region ("This
+// construct can also be used outside the parallel region").
+var globalTasks = NewTaskGroup()
+
+// TaskScope returns the task group governing the caller: the team group
+// inside a region, the process-wide group outside.
+func TaskScope() *TaskGroup {
+	if w := Current(); w != nil {
+		return w.Team.Tasks()
+	}
+	return globalTasks
+}
+
+// Spawn runs body asynchronously under the caller's task scope. If the
+// caller is a worker, the spawned goroutine inherits its worker context so
+// the task executes within the region's dynamic extent (it observes the
+// same team, thread id and thread-local state as its spawner, which
+// mirrors an untied OpenMP task executed by its creating thread).
+func Spawn(body func()) {
+	g := TaskScope()
+	g.Add(1)
+	parent := Current()
+	go func() {
+		defer g.Done()
+		if parent != nil {
+			glsContexts.Add(1)
+			current.Push(parent)
+			defer func() {
+				current.Pop()
+				glsContexts.Add(-1)
+			}()
+		}
+		body()
+	}()
+}
+
+// Future is the synchronisation object behind @FutureTask/@FutureResult:
+// the getter of the returned object blocks until the asynchronous method
+// has produced its value.
+type Future struct {
+	done chan struct{}
+	val  any
+}
+
+// NewFuture returns an unresolved future.
+func NewFuture() *Future { return &Future{done: make(chan struct{})} }
+
+// ResolvedFuture returns a future already holding v; its getter never
+// blocks. It backs the sequential semantics of @FutureTask methods whose
+// aspect is unplugged.
+func ResolvedFuture(v any) *Future {
+	f := NewFuture()
+	f.val = v
+	close(f.done)
+	return f
+}
+
+// SpawnFuture runs fn asynchronously under the caller's task scope and
+// returns a Future resolved with its result.
+func SpawnFuture(fn func() any) *Future {
+	f := NewFuture()
+	g := TaskScope()
+	g.Add(1)
+	parent := Current()
+	go func() {
+		defer g.Done()
+		if parent != nil {
+			glsContexts.Add(1)
+			current.Push(parent)
+			defer func() {
+				current.Pop()
+				glsContexts.Add(-1)
+			}()
+		}
+		f.val = fn()
+		close(f.done)
+	}()
+	return f
+}
+
+// Get blocks until the future resolves and returns its value
+// (@FutureResult: getters "act as synchronisation points").
+func (f *Future) Get() any {
+	<-f.done
+	return f.val
+}
+
+// Resolved reports whether the value is available without blocking.
+func (f *Future) Resolved() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// RWLock is the readers/writer mechanism (@Reader/@Writer): multiple
+// readers, one exclusive writer. It is a thin name over sync.RWMutex kept
+// as a distinct type so aspects can register and report it.
+type RWLock struct{ sync.RWMutex }

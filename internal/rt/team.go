@@ -1,0 +1,239 @@
+package rt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"aomplib/internal/gls"
+)
+
+// current holds the per-goroutine stack of worker contexts. Parallel
+// regions push a Worker on each participating goroutine; nested regions
+// stack naturally.
+var current = gls.NewStore()
+
+// glsContexts counts live worker registrations, so Current can answer
+// "no parallel region anywhere" with one atomic load — keeping woven
+// calls in sequential programs at direct-call cost.
+var glsContexts atomic.Int64
+
+// Current returns the Worker executing on this goroutine, or nil when the
+// caller is outside any parallel region (sequential part of the program).
+func Current() *Worker {
+	if glsContexts.Load() > 0 {
+		if v := current.Current(); v != nil {
+			return v.(*Worker)
+		}
+	}
+	return nil
+}
+
+// ThreadID reports the id of the calling worker within its (innermost)
+// team, or 0 outside parallel regions — the paper's getThreadId().
+func ThreadID() int {
+	if w := Current(); w != nil {
+		return w.ID
+	}
+	return 0
+}
+
+// NumThreads reports the size of the calling worker's team, or 1 outside
+// parallel regions.
+func NumThreads() int {
+	if w := Current(); w != nil {
+		return w.Team.Size
+	}
+	return 1
+}
+
+// DefaultThreads is the team size used when a parallel region does not
+// specify one; it mirrors OpenMP's default of one thread per available
+// processor.
+func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// Team is a team of workers executing one parallel region entry.
+type Team struct {
+	// Size is the number of workers (master included).
+	Size int
+	// Level is the region nesting depth (outermost region = 1).
+	Level int
+	// Parent is the worker that entered the region (nil at the outermost
+	// level when entered from sequential code).
+	Parent *Worker
+
+	barrier *Barrier
+	tasks   *TaskGroup
+
+	mu         sync.Mutex
+	constructs map[any]map[int64]*instanceSlot
+}
+
+type instanceSlot struct {
+	state    any
+	released int
+}
+
+// Worker is one activity in a team. Exported fields are safe to read from
+// the worker's own goroutine; maps are worker-private.
+type Worker struct {
+	ID   int
+	Team *Team
+
+	encounters map[any]int64
+	activeFor  []*ForContext // stack: nested work-sharing contexts
+	tls        map[any]any   // thread-local values keyed by construct identity
+}
+
+// Barrier returns the team barrier.
+func (t *Team) Barrier() *Barrier { return t.barrier }
+
+// Tasks returns the team task group (joined by @TaskWait and at region end).
+func (t *Team) Tasks() *TaskGroup { return t.tasks }
+
+// Region executes body with a team of n workers, reproducing paper Fig. 9:
+// the caller becomes worker 0 (the master), n-1 goroutines are spawned,
+// each establishes its worker context and runs body, and the master joins
+// all spawned workers before returning. Any panic raised by a worker is
+// re-raised on the master after the join, so failures cannot be lost.
+//
+// n < 1 selects DefaultThreads(). Nested calls create a fresh inner team,
+// as the library "also supports nested parallel regions".
+func Region(n int, body func(w *Worker)) {
+	if n < 1 {
+		n = DefaultThreads()
+	}
+	parent := Current()
+	level := 1
+	if parent != nil {
+		level = parent.Team.Level + 1
+	}
+	team := &Team{
+		Size:       n,
+		Level:      level,
+		Parent:     parent,
+		barrier:    NewBarrier(n),
+		tasks:      NewTaskGroup(),
+		constructs: make(map[any]map[int64]*instanceSlot),
+	}
+
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+		panicked bool
+	)
+	run := func(w *Worker) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if !panicked {
+					panicked, panicVal = true, r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		glsContexts.Add(1)
+		current.Push(w)
+		defer func() {
+			current.Pop()
+			glsContexts.Add(-1)
+		}()
+		body(w)
+	}
+
+	for i := 1; i < n; i++ {
+		w := newWorker(i, team)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run(w)
+		}()
+	}
+	master := newWorker(0, team)
+	run(master)
+	wg.Wait()
+	// Join any tasks spawned in the region that were not explicitly waited
+	// for, so the region's synchronisation point is complete.
+	team.tasks.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+}
+
+func newWorker(id int, t *Team) *Worker {
+	return &Worker{
+		ID:         id,
+		Team:       t,
+		encounters: make(map[any]int64),
+		tls:        make(map[any]any),
+	}
+}
+
+// NextEncounter returns this worker's encounter index for the construct
+// identified by key, incrementing it. Work-sharing and single constructs
+// use matching encounter indices across workers to share per-encounter
+// state; this requires — as in OpenMP — that such constructs are
+// encountered by all workers of the team or by none.
+func (w *Worker) NextEncounter(key any) int64 {
+	n := w.encounters[key]
+	w.encounters[key] = n + 1
+	return n
+}
+
+// Instance returns the shared state for encounter enc of construct key,
+// creating it with factory on first arrival. All workers of the team
+// observe the same state value for the same (key, enc) pair.
+func (t *Team) Instance(key any, enc int64, factory func() any) any {
+	t.mu.Lock()
+	byEnc := t.constructs[key]
+	if byEnc == nil {
+		byEnc = make(map[int64]*instanceSlot)
+		t.constructs[key] = byEnc
+	}
+	slot := byEnc[enc]
+	if slot == nil {
+		slot = &instanceSlot{state: factory()}
+		byEnc[enc] = slot
+	}
+	st := slot.state
+	t.mu.Unlock()
+	return st
+}
+
+// Release marks the calling worker as done with encounter enc of construct
+// key; when all workers have released it the state is dropped, bounding
+// memory across the many encounters of long-running regions.
+func (t *Team) Release(key any, enc int64) {
+	t.mu.Lock()
+	if byEnc := t.constructs[key]; byEnc != nil {
+		if slot := byEnc[enc]; slot != nil {
+			slot.released++
+			if slot.released >= t.Size {
+				delete(byEnc, enc)
+				if len(byEnc) == 0 {
+					delete(t.constructs, key)
+				}
+			}
+		}
+	}
+	t.mu.Unlock()
+}
+
+// pendingInstances reports construct instances not yet fully released
+// (diagnostics/tests only).
+func (t *Team) pendingInstances() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, byEnc := range t.constructs {
+		n += len(byEnc)
+	}
+	return n
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (w *Worker) String() string {
+	return fmt.Sprintf("worker %d/%d (level %d)", w.ID, w.Team.Size, w.Team.Level)
+}

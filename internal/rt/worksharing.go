@@ -1,0 +1,189 @@
+package rt
+
+import (
+	"sync"
+
+	"aomplib/internal/sched"
+)
+
+// ForContext is the per-worker view of one encounter of a for work-sharing
+// construct. It carries the full iteration space and the shared per-encounter
+// state (dynamic dispenser, ordered sequencer). The for advice pushes it on
+// the worker while executing the worker's portion so that nested constructs
+// — notably @Ordered, which "is only supported within the calling context
+// of a for method" — can find it.
+type ForContext struct {
+	Space  sched.Space
+	Kind   sched.Kind
+	Worker *Worker
+	shared *forShared
+}
+
+// forShared is the team-shared state of one for-construct encounter.
+type forShared struct {
+	disp *sched.Dispenser // dynamic/guided only
+
+	// ordered sequencing: next loop value whose ordered section may run.
+	omu   sync.Mutex
+	ocond *sync.Cond
+	onext int
+}
+
+type forKey struct {
+	key any
+}
+
+// BeginFor establishes the work-sharing context for one encounter of the
+// construct identified by key on worker w. kind/chunk select the schedule.
+// The returned ForContext must be finished with EndFor (normally deferred).
+func BeginFor(w *Worker, key any, sp sched.Space, kind sched.Kind, chunk int) *ForContext {
+	enc := w.NextEncounter(forKey{key})
+	shared := w.Team.Instance(forKey{key}, enc, func() any {
+		fs := &forShared{onext: sp.Lo}
+		if kind == sched.Dynamic || kind == sched.Guided {
+			fs.disp = sched.NewDispenser(sp, chunk, kind == sched.Guided, w.Team.Size)
+		}
+		return fs
+	}).(*forShared)
+	fc := &ForContext{Space: sp, Kind: kind, Worker: w, shared: shared}
+	w.activeFor = append(w.activeFor, fc)
+	w.Team.Release(forKey{key}, enc)
+	return fc
+}
+
+// EndFor pops the work-sharing context from the worker.
+func (fc *ForContext) EndFor() {
+	w := fc.Worker
+	if n := len(w.activeFor); n > 0 && w.activeFor[n-1] == fc {
+		w.activeFor = w.activeFor[:n-1]
+	}
+}
+
+// ActiveFor returns the innermost work-sharing context of the worker, or
+// nil when the worker is not inside a for construct.
+func (w *Worker) ActiveFor() *ForContext {
+	if n := len(w.activeFor); n > 0 {
+		return w.activeFor[n-1]
+	}
+	return nil
+}
+
+// Dispense draws the next chunk for dynamic/guided schedules, returning it
+// as a sub-space. ok is false when the iteration space is exhausted.
+func (fc *ForContext) Dispense() (sched.Space, bool) {
+	from, to, ok := fc.shared.disp.Next()
+	if !ok {
+		return sched.Space{}, false
+	}
+	return fc.Space.Slice(int(from), int(to)), true
+}
+
+// Ordered runs section when the loop value `iter` becomes the next value
+// in the sequential iteration order of the construct (paper Table 1,
+// @Ordered). Every iteration of the space must execute its ordered section
+// exactly once, otherwise later iterations deadlock — the same contract as
+// OpenMP's ordered clause.
+func (fc *ForContext) Ordered(iter int, section func()) {
+	fs := fc.shared
+	fs.omu.Lock()
+	if fs.ocond == nil { // lazily allocated: most for constructs never order
+		fs.ocond = sync.NewCond(&fs.omu)
+	}
+	for fs.onext != iter {
+		fs.ocond.Wait()
+	}
+	fs.omu.Unlock()
+	// Section runs outside the lock: only one iteration can hold the turn.
+	section()
+	fs.omu.Lock()
+	fs.onext = iter + fc.Space.Step
+	if fs.ocond != nil {
+		fs.ocond.Broadcast()
+	}
+	fs.omu.Unlock()
+}
+
+// singleState is the team-shared state of one encounter of a single/master
+// construct; the broadcast channel exists only for value-returning forms
+// (withResult), keeping void masters/singles allocation-light.
+type singleState struct {
+	claimed bool
+	mu      sync.Mutex
+	done    chan struct{}
+	result  any
+}
+
+type singleKey struct{ key any }
+
+func newSingleState(withResult bool) *singleState {
+	st := &singleState{}
+	if withResult {
+		st.done = make(chan struct{})
+	}
+	return st
+}
+
+// SingleBegin returns (true, state) for the one worker of the team that
+// claims this encounter of the single construct identified by key, and
+// (false, state) for everyone else (paper Table 1, @Single). withResult
+// must be true when the construct broadcasts a value via Publish/Await.
+func SingleBegin(w *Worker, key any, withResult bool) (bool, *singleState) {
+	enc := w.NextEncounter(singleKey{key})
+	st := w.Team.Instance(singleKey{key}, enc, func() any {
+		return newSingleState(withResult)
+	}).(*singleState)
+	w.Team.Release(singleKey{key}, enc)
+	st.mu.Lock()
+	claim := !st.claimed
+	st.claimed = true
+	st.mu.Unlock()
+	return claim, st
+}
+
+// MasterBegin is SingleBegin with a deterministic claimer: worker 0
+// (paper Table 1, @Master).
+func MasterBegin(w *Worker, key any, withResult bool) (bool, *singleState) {
+	enc := w.NextEncounter(singleKey{key})
+	st := w.Team.Instance(singleKey{key}, enc, func() any {
+		return newSingleState(withResult)
+	}).(*singleState)
+	w.Team.Release(singleKey{key}, enc)
+	return w.ID == 0, st
+}
+
+// Publish stores the executed method's result and releases waiters.
+func (s *singleState) Publish(v any) {
+	s.result = v
+	close(s.done)
+}
+
+// Await blocks until the executing worker publishes, then returns the
+// value — "the result is propagated to all threads in the team".
+func (s *singleState) Await() any {
+	<-s.done
+	return s.result
+}
+
+// TLS returns the worker-local value for the construct identified by key,
+// creating it with factory on first access by this worker (paper Table 1,
+// @ThreadLocalField: "each thread local object field is initialised ...
+// [on] the first thread access").
+func (w *Worker) TLS(key any, factory func() any) any {
+	v, ok := w.tls[key]
+	if !ok {
+		v = factory()
+		w.tls[key] = v
+	}
+	return v
+}
+
+// TLSIfPresent returns the worker-local value and whether it exists,
+// without creating it.
+func (w *Worker) TLSIfPresent(key any) (any, bool) {
+	v, ok := w.tls[key]
+	return v, ok
+}
+
+// TLSDelete removes the worker-local value (used after reductions so a
+// subsequent access re-initialises from the global value).
+func (w *Worker) TLSDelete(key any) { delete(w.tls, key) }

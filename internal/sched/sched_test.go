@@ -1,0 +1,284 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceCount(t *testing.T) {
+	cases := []struct {
+		sp   Space
+		want int
+	}{
+		{Space{0, 10, 1}, 10},
+		{Space{0, 10, 3}, 4}, // 0,3,6,9
+		{Space{0, 0, 1}, 0},
+		{Space{5, 5, 1}, 0},
+		{Space{10, 0, 1}, 0},
+		{Space{3, 10, 2}, 4}, // 3,5,7,9
+		{Space{10, 0, -1}, 10},
+		{Space{10, 0, -3}, 4}, // 10,7,4,1
+		{Space{0, 10, -1}, 0},
+		{Space{0, 1, 100}, 1},
+	}
+	for _, c := range cases {
+		if got := c.sp.Count(); got != c.want {
+			t.Errorf("%v.Count() = %d, want %d", c.sp, got, c.want)
+		}
+	}
+}
+
+func TestSpaceValidate(t *testing.T) {
+	if err := (Space{0, 1, 0}).Validate(); err == nil {
+		t.Error("zero step not rejected")
+	}
+	if err := (Space{0, 1, 1}).Validate(); err != nil {
+		t.Errorf("valid space rejected: %v", err)
+	}
+}
+
+func TestSpaceSlice(t *testing.T) {
+	sp := Space{3, 20, 2} // 3,5,7,9,11,13,15,17,19
+	sub := sp.Slice(2, 5) // 7,9,11
+	if got := sub.Values(); len(got) != 3 || got[0] != 7 || got[2] != 11 {
+		t.Errorf("Slice(2,5) = %v, want [7 9 11]", got)
+	}
+	if empty := sp.Slice(4, 4); empty.Count() != 0 {
+		t.Errorf("empty slice has %d iterations", empty.Count())
+	}
+	// Clamping.
+	if got := sp.Slice(-5, 100).Count(); got != sp.Count() {
+		t.Errorf("clamped slice count = %d, want %d", got, sp.Count())
+	}
+}
+
+// collectStatic runs a static partitioner across all workers and returns
+// every executed loop value.
+func collectStatic(part func(Space, int, int) Space, sp Space, nthreads int) []int {
+	var all []int
+	for id := 0; id < nthreads; id++ {
+		all = append(all, part(sp, nthreads, id).Values()...)
+	}
+	return all
+}
+
+func sameMultiset(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ac := append([]int(nil), a...)
+	bc := append([]int(nil), b...)
+	sort.Ints(ac)
+	sort.Ints(bc)
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: Block and Cyclic both execute every iteration exactly once,
+// for any space and team size.
+func TestStaticPartitionCoverageProperty(t *testing.T) {
+	f := func(lo int8, count uint8, step uint8, nth uint8) bool {
+		st := int(step%7) + 1
+		sp := Space{Lo: int(lo), Step: st}
+		sp.Hi = sp.Lo + int(count%64)*st // exactly count%64 iterations
+		n := int(nth%9) + 1
+		want := sp.Values()
+		return sameMultiset(collectStatic(Block, sp, n), want) &&
+			sameMultiset(collectStatic(Cyclic, sp, n), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: static partitions also cover negative-step loops.
+func TestStaticPartitionNegativeStepProperty(t *testing.T) {
+	f := func(lo int8, count uint8, step uint8, nth uint8) bool {
+		st := -(int(step%7) + 1)
+		sp := Space{Lo: int(lo), Step: st}
+		sp.Hi = sp.Lo + int(count%64)*st
+		n := int(nth%9) + 1
+		want := sp.Values()
+		return sameMultiset(collectStatic(Block, sp, n), want) &&
+			sameMultiset(collectStatic(Cyclic, sp, n), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockBalanced(t *testing.T) {
+	// 10 iterations over 4 workers: sizes must be 3,3,2,2.
+	sp := Space{0, 10, 1}
+	sizes := make([]int, 4)
+	for id := 0; id < 4; id++ {
+		sizes[id] = Block(sp, 4, id).Count()
+	}
+	want := []int{3, 3, 2, 2}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("block sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestBlockContiguous(t *testing.T) {
+	sp := Space{0, 100, 1}
+	prevEnd := 0
+	for id := 0; id < 7; id++ {
+		b := Block(sp, 7, id)
+		vals := b.Values()
+		if len(vals) == 0 {
+			continue
+		}
+		if vals[0] != prevEnd {
+			t.Fatalf("worker %d starts at %d, want %d", id, vals[0], prevEnd)
+		}
+		prevEnd = vals[len(vals)-1] + 1
+	}
+	if prevEnd != 100 {
+		t.Fatalf("coverage ends at %d, want 100", prevEnd)
+	}
+}
+
+func TestCyclicInterleaving(t *testing.T) {
+	sp := Space{0, 8, 1}
+	got := Cyclic(sp, 3, 1).Values()
+	want := []int{1, 4, 7}
+	if !sameMultiset(got, want) {
+		t.Fatalf("cyclic id=1 = %v, want %v", got, want)
+	}
+}
+
+func TestCyclicMoreWorkersThanIterations(t *testing.T) {
+	sp := Space{0, 2, 1}
+	if got := Cyclic(sp, 8, 5).Count(); got != 0 {
+		t.Fatalf("worker beyond iteration count got %d iterations", got)
+	}
+	all := collectStatic(Cyclic, sp, 8)
+	if !sameMultiset(all, []int{0, 1}) {
+		t.Fatalf("coverage = %v", all)
+	}
+}
+
+func TestDispenserSequential(t *testing.T) {
+	sp := Space{0, 10, 1}
+	d := NewDispenser(sp, 3, false, 2)
+	var got []int
+	for {
+		from, to, ok := d.Next()
+		if !ok {
+			break
+		}
+		for i := from; i < to; i++ {
+			got = append(got, sp.At(int(i)))
+		}
+	}
+	if !sameMultiset(got, sp.Values()) {
+		t.Fatalf("dynamic coverage = %v", got)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining = %d", d.Remaining())
+	}
+}
+
+// Property: under concurrent draining, every iteration index is dispensed
+// exactly once regardless of chunk size, policy, or worker count.
+func TestDispenserConcurrentExactlyOnce(t *testing.T) {
+	f := func(count uint16, chunk uint8, guided bool, nth uint8) bool {
+		n := int(count % 2000)
+		workers := int(nth%8) + 1
+		sp := Space{0, n, 1}
+		d := NewDispenser(sp, int(chunk%9), guided, workers)
+		hits := make([]int32, n)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					from, to, ok := d.Next()
+					if !ok {
+						return
+					}
+					for i := from; i < to; i++ {
+						hits[i]++ // each index owned by one goroutine
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for _, h := range hits {
+			if h != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuidedChunksShrink(t *testing.T) {
+	sp := Space{0, 1024, 1}
+	d := NewDispenser(sp, 1, true, 4)
+	var sizes []int64
+	for {
+		from, to, ok := d.Next()
+		if !ok {
+			break
+		}
+		sizes = append(sizes, to-from)
+	}
+	if len(sizes) < 3 {
+		t.Fatalf("guided produced only %d chunks", len(sizes))
+	}
+	if sizes[0] != 1024/8 {
+		t.Fatalf("first guided chunk = %d, want 128", sizes[0])
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[i-1] {
+			t.Fatalf("guided chunk grew: %v", sizes)
+		}
+	}
+	var sum int64
+	for _, s := range sizes {
+		sum += s
+	}
+	if sum != 1024 {
+		t.Fatalf("guided dispensed %d iterations, want 1024", sum)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		StaticBlock:  "staticBlock",
+		StaticCyclic: "staticCyclic",
+		Dynamic:      "dynamic",
+		Guided:       "guided",
+		Custom:       "caseSpecific",
+		Kind(42):     "Kind(42)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestDispenserChunkFloor(t *testing.T) {
+	d := NewDispenser(Space{0, 5, 1}, 0, false, 0)
+	from, to, ok := d.Next()
+	if !ok || from != 0 || to != 1 {
+		t.Fatalf("chunk<1 not floored to 1: %d %d %v", from, to, ok)
+	}
+}

@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Kind enumerates the built-in scheduling policies of the @For construct
+// (paper Table 1: schedule = staticBlock | staticCyclic | dynamic; guided
+// is provided as the Java-7-era extension the paper lists under current
+// work, and Custom supports the "case specific" schedules of Table 2).
+type Kind int
+
+const (
+	// StaticBlock assigns each worker one contiguous block of iterations,
+	// with remainders spread one-per-worker from worker 0 (exact OpenMP
+	// static semantics, refining the simplified formula of paper Fig. 10).
+	StaticBlock Kind = iota
+	// StaticCyclic deals iterations round-robin: worker id executes
+	// iterations id, id+N, id+2N, ... (paper §II: "cyclic load-distribution").
+	StaticCyclic
+	// Dynamic hands out fixed-size chunks from a shared counter on demand
+	// (paper Fig. 11; default chunk 1).
+	Dynamic
+	// Guided hands out exponentially shrinking chunks (remaining/2N,
+	// floored at the chunk size).
+	Guided
+	// Custom delegates to a user ScheduleFunc (case-specific schedule).
+	Custom
+)
+
+// String implements fmt.Stringer; names match the paper's annotations.
+func (k Kind) String() string {
+	switch k {
+	case StaticBlock:
+		return "staticBlock"
+	case StaticCyclic:
+		return "staticCyclic"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	case Custom:
+		return "caseSpecific"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ScheduleFunc is the extension point for case-specific schedules: given
+// the worker id, team size and full iteration space it returns the
+// sub-spaces that worker must execute. Implementations must together cover
+// every iteration exactly once across ids 0..nthreads-1.
+type ScheduleFunc func(id, nthreads int, sp Space) []Space
+
+// Block computes the StaticBlock sub-space for one worker. Workers with
+// id < remainder receive one extra iteration, so block sizes differ by at
+// most one.
+func Block(sp Space, nthreads, id int) Space {
+	n := sp.Count()
+	if nthreads <= 0 {
+		nthreads = 1
+	}
+	per := n / nthreads
+	rem := n % nthreads
+	var from int
+	if id < rem {
+		from = id * (per + 1)
+	} else {
+		from = rem*(per+1) + (id-rem)*per
+	}
+	size := per
+	if id < rem {
+		size++
+	}
+	return sp.Slice(from, from+size)
+}
+
+// Cyclic computes the StaticCyclic sub-space for one worker: same bounds,
+// offset start, stride multiplied by the team size.
+func Cyclic(sp Space, nthreads, id int) Space {
+	if nthreads <= 0 {
+		nthreads = 1
+	}
+	if id >= sp.Count() {
+		return Space{Lo: sp.Lo, Hi: sp.Lo, Step: sp.Step}
+	}
+	return Space{Lo: sp.At(id), Hi: sp.Hi, Step: sp.Step * nthreads}
+}
+
+// Dispenser is the shared state behind Dynamic and Guided scheduling: a
+// single atomic cursor over iteration-index space that workers draw chunks
+// from. One Dispenser instance is shared by the whole team per construct
+// encounter (the runtime layer manages instance identity).
+type Dispenser struct {
+	next     atomic.Int64
+	total    int64
+	chunk    int64
+	guided   bool
+	nthreads int64
+}
+
+// NewDispenser creates a dispenser over sp handing out chunks of the given
+// size (minimum chunk for guided). chunk < 1 is treated as 1, matching the
+// paper's default of one iteration per task.
+func NewDispenser(sp Space, chunk int, guided bool, nthreads int) *Dispenser {
+	if chunk < 1 {
+		chunk = 1
+	}
+	if nthreads < 1 {
+		nthreads = 1
+	}
+	return &Dispenser{
+		total:    int64(sp.Count()),
+		chunk:    int64(chunk),
+		guided:   guided,
+		nthreads: int64(nthreads),
+	}
+}
+
+// Next reserves the next chunk, returning iteration-index bounds [from, to).
+// ok is false when the space is exhausted.
+func (d *Dispenser) Next() (from, to int64, ok bool) {
+	for {
+		cur := d.next.Load()
+		if cur >= d.total {
+			return 0, 0, false
+		}
+		size := d.chunk
+		if d.guided {
+			if g := (d.total - cur) / (2 * d.nthreads); g > size {
+				size = g
+			}
+		}
+		end := cur + size
+		if end > d.total {
+			end = d.total
+		}
+		if d.next.CompareAndSwap(cur, end) {
+			return cur, end, true
+		}
+	}
+}
+
+// Remaining reports how many iterations have not yet been dispensed.
+// Intended for tests and diagnostics.
+func (d *Dispenser) Remaining() int64 {
+	r := d.total - d.next.Load()
+	if r < 0 {
+		return 0
+	}
+	return r
+}

@@ -1,0 +1,92 @@
+package weaver
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aomplib/internal/pointcut"
+)
+
+// Grandparent chains and interfaces inherited through parents must both
+// satisfy '+' pointcuts — "bindings that are retained over the class
+// hierarchy".
+func TestDeepInheritanceChain(t *testing.T) {
+	p := NewProgram("t")
+	base := p.Class("Base", Implements("Runnable"))
+	mid := p.Class("Mid", Extends(base))
+	leaf := p.Class("Leaf", Extends(mid))
+	var calls atomic.Int32
+	count := adviceFunc{name: "c", prec: 1,
+		wrap: func(jp *Joinpoint, next HandlerFunc) HandlerFunc {
+			return func(c *Call) { calls.Add(1); next(c) }
+		}}
+	f := leaf.Proc("work", func() {})
+	p.Use(&SimpleAspect{Name: "viaGrandparent", Bind: []Binding{
+		{Matcher: pointcut.MustParse("call(* Base+.work(..))"), Advice: count}}})
+	p.Use(&SimpleAspect{Name: "viaInheritedInterface", Bind: []Binding{
+		{Matcher: pointcut.MustParse("call(* Runnable+.work(..))"), Advice: count}}})
+	p.MustWeave()
+	f()
+	if calls.Load() != 2 {
+		t.Fatalf("advice through hierarchy applied %d times, want 2", calls.Load())
+	}
+}
+
+// Weaving while calls are in flight must be safe: in-flight calls finish
+// on their old chain, new calls pick up the new one, and nothing races.
+func TestConcurrentWeaveDuringCalls(t *testing.T) {
+	p := NewProgram("t")
+	var sink atomic.Int64
+	f := p.Class("A").Proc("m", func() { sink.Add(1) })
+	pass := adviceFunc{name: "p", prec: 1,
+		wrap: func(jp *Joinpoint, next HandlerFunc) HandlerFunc { return next }}
+	p.Use(&SimpleAspect{Name: "asp", Bind: []Binding{bind("call(* A.m(..))", pass)}})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		p.MustWeave()
+		p.Unweave()
+	}
+	close(stop)
+	wg.Wait()
+	if sink.Load() == 0 {
+		t.Fatal("no calls completed")
+	}
+}
+
+// Negative-step for methods must work-share correctly too.
+func TestForProcNegativeStepRange(t *testing.T) {
+	p := NewProgram("t")
+	var got []int
+	f := p.Class("A").ForProc("down", func(lo, hi, step int) {
+		for i := lo; i > hi; i += step {
+			got = append(got, i)
+		}
+	})
+	f(10, 0, -2)
+	want := []int{10, 8, 6, 4, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package weaver
+
+import (
+	"testing"
+
+	"aomplib/internal/rt"
+)
+
+// BenchmarkWovenCallWorkerAdviceInRegion measures the hot path that
+// matters: a worker-needing woven call made inside a parallel region.
+func BenchmarkWovenCallWorkerAdviceInRegion(b *testing.B) {
+	p := NewProgram("bench")
+	var sink int
+	f := p.Class("A").Proc("m", func() { sink++ })
+	pass := adviceFunc{name: "pass", prec: 1, worker: true,
+		wrap: func(jp *Joinpoint, next HandlerFunc) HandlerFunc { return next }}
+	p.Use(&SimpleAspect{Name: "asp", Bind: []Binding{bind("call(* A.m(..))", pass)}})
+	p.MustWeave()
+	b.ResetTimer()
+	rt.Region(1, func(w *rt.Worker) {
+		for i := 0; i < b.N; i++ {
+			f()
+		}
+	})
+	_ = sink
+}

@@ -1,0 +1,132 @@
+package weaver
+
+import (
+	"sync/atomic"
+
+	"aomplib/internal/rt"
+)
+
+// Call is the reified invocation flowing through an advice chain. Around
+// advice may inspect and rewrite it before proceeding — the for
+// work-sharing aspects rewrite Lo/Hi/Step exactly as the paper's advice
+// "gathers the first two method parameters ... and calls the original
+// method with thread specific parameters" (Fig. 10).
+type Call struct {
+	// JP is the joinpoint being invoked.
+	JP *Joinpoint
+	// Lo, Hi, Step carry the iteration space of ForKind methods.
+	Lo, Hi, Step int
+	// Key carries the key of KeyedKind methods (e.g. an iteration index
+	// for @Ordered, or a particle index for per-key locking).
+	Key int
+	// Ret carries the result of ValueKind methods.
+	Ret any
+	// Worker is the team worker executing the call, nil outside parallel
+	// regions. The region advice sets it for each team member; for calls
+	// made within a region's dynamic extent it is resolved from
+	// goroutine-local state on entry.
+	Worker *rt.Worker
+}
+
+// HandlerFunc is one stage of an advice chain; the innermost handler is
+// the original method body.
+type HandlerFunc func(*Call)
+
+// chain is an immutable woven pipeline, swapped atomically so weaving and
+// unweaving are safe while calls are in flight.
+type chain struct {
+	handler HandlerFunc
+	// needsWorker records whether any advice in the chain wants the
+	// current worker resolved; unwoven methods skip the lookup entirely.
+	needsWorker bool
+	// applied lists the advice outermost-first, for weave reports.
+	applied []appliedAdvice
+}
+
+type appliedAdvice struct {
+	aspect string
+	advice Advice
+}
+
+// Method is a registered joinpoint together with its body and current
+// woven chain.
+type Method struct {
+	jp      *Joinpoint
+	body    HandlerFunc
+	current atomic.Pointer[chain]
+}
+
+// JP returns the method's joinpoint.
+func (m *Method) JP() *Joinpoint { return m.jp }
+
+func (m *Method) invoke(c *Call) {
+	ch := m.current.Load()
+	if ch.needsWorker && c.Worker == nil {
+		c.Worker = rt.Current()
+	}
+	ch.handler(c)
+}
+
+func (m *Method) reset() {
+	m.current.Store(&chain{handler: m.body})
+}
+
+// Proc registers a plain method and returns its woven entry point. The
+// returned function replaces direct calls to body in the base program —
+// the analogue of AspectJ rewriting call sites (paper Fig. 12).
+func (c *Class) Proc(name string, body func()) func() {
+	m := c.register(name, ProcKind, func(*Call) { body() })
+	return func() {
+		call := Call{JP: m.jp}
+		m.invoke(&call)
+	}
+}
+
+// ForProc registers a for method (M2FOR refactor): the loop iteration
+// space is exposed in the first three int parameters so pluggable aspects
+// can rewrite the range.
+func (c *Class) ForProc(name string, body func(lo, hi, step int)) func(lo, hi, step int) {
+	m := c.register(name, ForKind, func(call *Call) { body(call.Lo, call.Hi, call.Step) })
+	return func(lo, hi, step int) {
+		call := Call{JP: m.jp, Lo: lo, Hi: hi, Step: step}
+		m.invoke(&call)
+	}
+}
+
+// KeyedProc registers a method exposing a single int key.
+func (c *Class) KeyedProc(name string, body func(key int)) func(key int) {
+	m := c.register(name, KeyedKind, func(call *Call) { body(call.Key) })
+	return func(key int) {
+		call := Call{JP: m.jp, Key: key}
+		m.invoke(&call)
+	}
+}
+
+// ValueProc registers a value-returning method. When woven with
+// @Single/@Master the value is broadcast to the team; sequentially it is
+// simply the body's result.
+func (c *Class) ValueProc(name string, body func() any) func() any {
+	m := c.register(name, ValueKind, func(call *Call) { call.Ret = body() })
+	return func() any {
+		call := Call{JP: m.jp}
+		m.invoke(&call)
+		return call.Ret
+	}
+}
+
+// FutureProc registers a value-returning method invoked through a Future.
+// Unwoven (or without a @FutureTask aspect) the future is resolved
+// synchronously, preserving sequential semantics; woven with @FutureTask
+// the body runs asynchronously and the future's getter is the
+// synchronisation point (@FutureResult).
+func (c *Class) FutureProc(name string, body func() any) func() *rt.Future {
+	m := c.register(name, ValueKind, func(call *Call) { call.Ret = body() })
+	return func() *rt.Future {
+		call := Call{JP: m.jp}
+		m.invoke(&call)
+		if f, ok := call.Ret.(*rt.Future); ok {
+			return f
+		}
+		return rt.ResolvedFuture(call.Ret)
+	}
+}

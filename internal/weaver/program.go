@@ -1,0 +1,252 @@
+package weaver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Program is a base program's joinpoint registry plus its deployed
+// aspects. It plays the role of the AspectJ build: classes and methods are
+// registered as the base program initialises, aspects are added with Use
+// (or removed), and Weave/Unweave correspond to building with or without
+// the aspect modules — "sequential semantics and incremental development
+// are intrinsically supported since aspects can be (un)plugged to/from a
+// given base program at any time".
+type Program struct {
+	name string
+
+	mu      sync.Mutex
+	classes map[string]*Class
+	methods []*Method
+	aspects []Aspect
+}
+
+// NewProgram creates an empty program registry.
+func NewProgram(name string) *Program {
+	return &Program{name: name, classes: make(map[string]*Class)}
+}
+
+// Name returns the program name.
+func (p *Program) Name() string { return p.name }
+
+// ClassOpt configures a Class at creation.
+type ClassOpt func(*Class)
+
+// Implements declares interfaces the class implements; pointcuts with the
+// '+' operator on an interface name select its implementers.
+func Implements(interfaces ...string) ClassOpt {
+	return func(c *Class) { c.implements = append(c.implements, interfaces...) }
+}
+
+// Extends declares the superclass; pointcuts on the superclass with '+'
+// select subclasses, so bindings are "retained over the class hierarchy".
+func Extends(parent *Class) ClassOpt {
+	return func(c *Class) { c.extends = parent }
+}
+
+// Class registers (or retrieves) a class scope. Options are applied only
+// on first creation; re-declaring an existing class with options panics,
+// as that always indicates conflicting registrations.
+func (p *Program) Class(name string, opts ...ClassOpt) *Class {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.classes[name]; ok {
+		if len(opts) > 0 {
+			panic(fmt.Sprintf("weaver: class %q re-declared with options", name))
+		}
+		return c
+	}
+	c := &Class{program: p, name: name}
+	for _, o := range opts {
+		o(c)
+	}
+	p.classes[name] = c
+	return c
+}
+
+func (c *Class) register(name string, kind Kind, body HandlerFunc) *Method {
+	p := c.program
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range p.methods {
+		if m.jp.class == c && m.jp.name == name {
+			panic(fmt.Sprintf("weaver: method %s.%s registered twice", c.name, name))
+		}
+	}
+	m := &Method{jp: &Joinpoint{class: c, name: name, kind: kind}, body: body}
+	m.reset()
+	p.methods = append(p.methods, m)
+	return m
+}
+
+// Annotate attaches annotations to the named method ("Class.method").
+// Like Java annotations these are inert metadata until an aspect —
+// typically the core package's annotation aspects (paper Fig. 5) —
+// translates them into advice at weave time.
+func (p *Program) Annotate(fqn string, annotations ...Annotation) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.lookupLocked(fqn)
+	if m == nil {
+		return fmt.Errorf("weaver: Annotate: unknown method %q", fqn)
+	}
+	m.jp.annotations = append(m.jp.annotations, annotations...)
+	return nil
+}
+
+// MustAnnotate is Annotate that panics on error, for declaration blocks.
+func (p *Program) MustAnnotate(fqn string, annotations ...Annotation) {
+	if err := p.Annotate(fqn, annotations...); err != nil {
+		panic(err)
+	}
+}
+
+func (p *Program) lookupLocked(fqn string) *Method {
+	i := strings.LastIndexByte(fqn, '.')
+	if i < 0 {
+		return nil
+	}
+	cls, name := fqn[:i], fqn[i+1:]
+	for _, m := range p.methods {
+		if m.jp.class.name == cls && m.jp.name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Method returns the registered method named "Class.method", or nil.
+func (p *Program) Method(fqn string) *Method {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lookupLocked(fqn)
+}
+
+// Joinpoints returns all registered joinpoints (weave tooling).
+func (p *Program) Joinpoints() []*Joinpoint {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Joinpoint, len(p.methods))
+	for i, m := range p.methods {
+		out[i] = m.jp
+	}
+	return out
+}
+
+// Use deploys aspect modules. The change takes effect at the next Weave.
+func (p *Program) Use(aspects ...Aspect) {
+	p.mu.Lock()
+	p.aspects = append(p.aspects, aspects...)
+	p.mu.Unlock()
+}
+
+// RemoveAspect undeploys all aspects with the given name.
+func (p *Program) RemoveAspect(name string) {
+	p.mu.Lock()
+	kept := p.aspects[:0]
+	for _, a := range p.aspects {
+		if a.AspectName() != name {
+			kept = append(kept, a)
+		}
+	}
+	p.aspects = kept
+	p.mu.Unlock()
+}
+
+// Aspects returns the names of deployed aspects in deployment order.
+func (p *Program) Aspects() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, len(p.aspects))
+	for i, a := range p.aspects {
+		names[i] = a.AspectName()
+	}
+	return names
+}
+
+// Weave (re)builds every method's advice chain from the deployed aspects.
+// Matching advice is ordered by precedence (higher wraps further out;
+// ties keep deployment order) and composed around the original body. The
+// swap is atomic per method, so in-flight calls complete on the chain they
+// started with.
+func (p *Program) Weave() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range p.methods {
+		var applied []appliedAdvice
+		for _, a := range p.aspects {
+			for _, b := range a.Bindings() {
+				if !b.Matcher.Matches(m.jp) {
+					continue
+				}
+				if v, ok := b.Advice.(Validator); ok {
+					if err := v.ValidateJP(m.jp); err != nil {
+						return fmt.Errorf("weaver: aspect %q: %w", a.AspectName(), err)
+					}
+				}
+				applied = append(applied, appliedAdvice{aspect: a.AspectName(), advice: b.Advice})
+			}
+		}
+		// Stable sort: outermost (highest precedence) first.
+		sort.SliceStable(applied, func(i, j int) bool {
+			return applied[i].advice.Precedence() > applied[j].advice.Precedence()
+		})
+		h := m.body
+		needsWorker := false
+		for i := len(applied) - 1; i >= 0; i-- { // wrap innermost-first
+			h = applied[i].advice.Wrap(m.jp, h)
+			needsWorker = needsWorker || applied[i].advice.NeedsWorker()
+		}
+		m.current.Store(&chain{handler: h, needsWorker: needsWorker, applied: applied})
+	}
+	return nil
+}
+
+// MustWeave is Weave that panics on error.
+func (p *Program) MustWeave() {
+	if err := p.Weave(); err != nil {
+		panic(err)
+	}
+}
+
+// Unweave restores every method to its unadvised body: the program runs
+// with its original sequential semantics.
+func (p *Program) Unweave() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range p.methods {
+		m.reset()
+	}
+}
+
+// WovenMethod describes one method's weave state for reports.
+type WovenMethod struct {
+	FQN         string
+	Kind        Kind
+	Annotations []string
+	// Advice lists applied advice outermost-first as "aspect/advice".
+	Advice []string
+}
+
+// Report returns the weave state of every method, sorted by FQN — the
+// analogue of AspectJ's weave-info messages, used by cmd/weavedump and the
+// Table 2 tooling.
+func (p *Program) Report() []WovenMethod {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]WovenMethod, 0, len(p.methods))
+	for _, m := range p.methods {
+		wm := WovenMethod{FQN: m.jp.FQN(), Kind: m.jp.kind}
+		for _, a := range m.jp.annotations {
+			wm.Annotations = append(wm.Annotations, a.AnnotationName())
+		}
+		for _, ap := range m.current.Load().applied {
+			wm.Advice = append(wm.Advice, ap.aspect+"/"+ap.advice.AdviceName())
+		}
+		out = append(out, wm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FQN < out[j].FQN })
+	return out
+}

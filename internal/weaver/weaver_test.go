@@ -1,0 +1,393 @@
+package weaver
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"aomplib/internal/pointcut"
+)
+
+// traceAdvice appends its tag around the invocation, recording wrap order.
+type traceAdvice struct {
+	tag    string
+	prec   int
+	log    *[]string
+	worker bool
+}
+
+func (t traceAdvice) AdviceName() string { return t.tag }
+func (t traceAdvice) Precedence() int    { return t.prec }
+func (t traceAdvice) NeedsWorker() bool  { return t.worker }
+func (t traceAdvice) Wrap(jp *Joinpoint, next HandlerFunc) HandlerFunc {
+	return func(c *Call) {
+		*t.log = append(*t.log, t.tag+">")
+		next(c)
+		*t.log = append(*t.log, "<"+t.tag)
+	}
+}
+
+func bind(pc string, a Advice) Binding {
+	return Binding{Matcher: pointcut.MustParse(pc), Advice: a}
+}
+
+func TestUnwovenCallsBodyDirectly(t *testing.T) {
+	p := NewProgram("test")
+	var ran bool
+	f := p.Class("A").Proc("m", func() { ran = true })
+	f()
+	if !ran {
+		t.Fatal("body did not run")
+	}
+}
+
+func TestWeaveAppliesMatchingAdviceOnly(t *testing.T) {
+	p := NewProgram("test")
+	a := p.Class("A")
+	var log []string
+	m1 := a.Proc("hit", func() { log = append(log, "hit") })
+	m2 := a.Proc("miss", func() { log = append(log, "miss") })
+	p.Use(&SimpleAspect{Name: "asp", Bind: []Binding{
+		bind("call(* A.hit(..))", traceAdvice{tag: "t", prec: 10, log: &log}),
+	}})
+	p.MustWeave()
+	m1()
+	m2()
+	want := []string{"t>", "hit", "<t", "miss"}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+}
+
+func TestPrecedenceOrdersWrapping(t *testing.T) {
+	p := NewProgram("test")
+	var log []string
+	m := p.Class("A").Proc("m", func() { log = append(log, "body") })
+	p.Use(&SimpleAspect{Name: "asp", Bind: []Binding{
+		bind("call(* A.m(..))", traceAdvice{tag: "inner", prec: 1, log: &log}),
+		bind("call(* A.m(..))", traceAdvice{tag: "outer", prec: 100, log: &log}),
+		bind("call(* A.m(..))", traceAdvice{tag: "mid", prec: 50, log: &log}),
+	}})
+	p.MustWeave()
+	m()
+	want := "[outer> mid> inner> body <inner <mid <outer]"
+	if got := fmt.Sprint(log); got != want {
+		t.Fatalf("log = %v, want %v", got, want)
+	}
+}
+
+func TestEqualPrecedenceKeepsDeploymentOrder(t *testing.T) {
+	p := NewProgram("test")
+	var log []string
+	m := p.Class("A").Proc("m", func() { log = append(log, "body") })
+	p.Use(&SimpleAspect{Name: "first", Bind: []Binding{
+		bind("call(* A.m(..))", traceAdvice{tag: "a", prec: 5, log: &log})}})
+	p.Use(&SimpleAspect{Name: "second", Bind: []Binding{
+		bind("call(* A.m(..))", traceAdvice{tag: "b", prec: 5, log: &log})}})
+	p.MustWeave()
+	m()
+	want := "[a> b> body <b <a]"
+	if got := fmt.Sprint(log); got != want {
+		t.Fatalf("log = %v, want %v", got, want)
+	}
+}
+
+func TestUnweaveRestoresSequentialSemantics(t *testing.T) {
+	p := NewProgram("test")
+	var log []string
+	m := p.Class("A").Proc("m", func() { log = append(log, "body") })
+	p.Use(&SimpleAspect{Name: "asp", Bind: []Binding{
+		bind("call(* A.m(..))", traceAdvice{tag: "t", prec: 1, log: &log})}})
+	p.MustWeave()
+	m()
+	p.Unweave()
+	m()
+	want := "[t> body <t body]"
+	if got := fmt.Sprint(log); got != want {
+		t.Fatalf("log = %v, want %v", got, want)
+	}
+	// Re-weaving re-applies: plug/unplug at any time.
+	p.MustWeave()
+	log = nil
+	m()
+	if fmt.Sprint(log) != "[t> body <t]" {
+		t.Fatalf("re-weave failed: %v", log)
+	}
+}
+
+func TestRemoveAspect(t *testing.T) {
+	p := NewProgram("test")
+	var log []string
+	m := p.Class("A").Proc("m", func() { log = append(log, "body") })
+	p.Use(&SimpleAspect{Name: "asp", Bind: []Binding{
+		bind("call(* A.m(..))", traceAdvice{tag: "t", prec: 1, log: &log})}})
+	p.MustWeave()
+	p.RemoveAspect("asp")
+	p.MustWeave()
+	m()
+	if fmt.Sprint(log) != "[body]" {
+		t.Fatalf("advice survived removal: %v", log)
+	}
+	if n := len(p.Aspects()); n != 0 {
+		t.Fatalf("aspect list has %d entries", n)
+	}
+}
+
+func TestForProcArgsFlow(t *testing.T) {
+	p := NewProgram("test")
+	var got [3]int
+	f := p.Class("A").ForProc("loop", func(lo, hi, step int) { got = [3]int{lo, hi, step} })
+	// Advice that halves the range.
+	halve := adviceFunc{
+		name: "halve", prec: 10,
+		wrap: func(jp *Joinpoint, next HandlerFunc) HandlerFunc {
+			return func(c *Call) {
+				c2 := *c
+				c2.Hi = c.Lo + (c.Hi-c.Lo)/2
+				next(&c2)
+			}
+		},
+	}
+	p.Use(&SimpleAspect{Name: "asp", Bind: []Binding{bind("call(* A.loop(..))", halve)}})
+	p.MustWeave()
+	f(0, 100, 1)
+	if got != [3]int{0, 50, 1} {
+		t.Fatalf("got %v, want [0 50 1]", got)
+	}
+}
+
+type adviceFunc struct {
+	name   string
+	prec   int
+	worker bool
+	wrap   func(*Joinpoint, HandlerFunc) HandlerFunc
+}
+
+func (a adviceFunc) AdviceName() string { return a.name }
+func (a adviceFunc) Precedence() int    { return a.prec }
+func (a adviceFunc) NeedsWorker() bool  { return a.worker }
+func (a adviceFunc) Wrap(jp *Joinpoint, next HandlerFunc) HandlerFunc {
+	return a.wrap(jp, next)
+}
+
+func TestValueProcAndFutureProc(t *testing.T) {
+	p := NewProgram("test")
+	v := p.Class("A").ValueProc("val", func() any { return 7 })
+	if got := v(); got != 7 {
+		t.Fatalf("ValueProc = %v", got)
+	}
+	fp := p.Class("A").FutureProc("fut", func() any { return 9 })
+	f := fp()
+	if !f.Resolved() {
+		t.Fatal("unwoven FutureProc must resolve synchronously")
+	}
+	if got := f.Get(); got != 9 {
+		t.Fatalf("future value = %v", got)
+	}
+}
+
+func TestAnnotationsVisibleToPointcuts(t *testing.T) {
+	p := NewProgram("test")
+	var n atomic.Int32
+	m := p.Class("A").Proc("m", func() {})
+	p.MustAnnotate("A.m", testAnno{})
+	count := adviceFunc{name: "count", prec: 1,
+		wrap: func(jp *Joinpoint, next HandlerFunc) HandlerFunc {
+			return func(c *Call) { n.Add(1); next(c) }
+		}}
+	p.Use(&SimpleAspect{Name: "asp", Bind: []Binding{
+		bind("call(@Marked * *(..))", count)}})
+	p.MustWeave()
+	m()
+	if n.Load() != 1 {
+		t.Fatal("annotation pointcut did not select annotated method")
+	}
+	if err := p.Annotate("A.nope", testAnno{}); err == nil {
+		t.Fatal("annotating unknown method succeeded")
+	}
+}
+
+type testAnno struct{}
+
+func (testAnno) AnnotationName() string { return "Marked" }
+
+func TestInheritancePointcutRetained(t *testing.T) {
+	p := NewProgram("test")
+	parent := p.Class("Particle", Implements("IParticle"))
+	child := p.Class("LJParticle", Extends(parent))
+	var calls []string
+	pf := parent.Proc("force", func() { calls = append(calls, "parent") })
+	cf := child.Proc("force", func() { calls = append(calls, "child") })
+	tag := adviceFunc{name: "tag", prec: 1,
+		wrap: func(jp *Joinpoint, next HandlerFunc) HandlerFunc {
+			return func(c *Call) {
+				calls = append(calls, "advice:"+jp.ClassName())
+				next(c)
+			}
+		}}
+	// Binding on the superclass with '+' captures the override too —
+	// "bindings that are retained over the class hierarchy".
+	p.Use(&SimpleAspect{Name: "asp", Bind: []Binding{
+		bind("call(* Particle+.force(..))", tag)}})
+	p.MustWeave()
+	pf()
+	cf()
+	want := "[advice:Particle parent advice:LJParticle child]"
+	if got := fmt.Sprint(calls); got != want {
+		t.Fatalf("calls = %v, want %v", got, want)
+	}
+	// Interface pointcut also reaches the subclass.
+	calls = nil
+	p.RemoveAspect("asp")
+	p.Use(&SimpleAspect{Name: "asp2", Bind: []Binding{
+		bind("call(* IParticle+.force(..))", tag)}})
+	p.MustWeave()
+	cf()
+	if got := fmt.Sprint(calls); got != "[advice:LJParticle child]" {
+		t.Fatalf("interface binding: %v", got)
+	}
+}
+
+func TestExactMatcher(t *testing.T) {
+	p := NewProgram("test")
+	a := p.Class("A")
+	var hits int
+	m1 := a.Proc("m1", func() {})
+	m2 := a.Proc("m2", func() {})
+	count := adviceFunc{name: "c", prec: 1,
+		wrap: func(jp *Joinpoint, next HandlerFunc) HandlerFunc {
+			return func(c *Call) { hits++; next(c) }
+		}}
+	p.Use(&SimpleAspect{Name: "asp", Bind: []Binding{
+		{Matcher: Exact(p.Method("A.m1").JP()), Advice: count}}})
+	p.MustWeave()
+	m1()
+	m2()
+	if hits != 1 {
+		t.Fatalf("exact matcher hit %d methods", hits)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	p := NewProgram("test")
+	a := p.Class("A")
+	a.Proc("m", func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate method registration did not panic")
+		}
+	}()
+	a.Proc("m", func() {})
+}
+
+func TestClassRedeclareWithOptionsPanics(t *testing.T) {
+	p := NewProgram("test")
+	p.Class("A")
+	if c := p.Class("A"); c == nil {
+		t.Fatal("idempotent lookup failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-declare with options did not panic")
+		}
+	}()
+	p.Class("A", Implements("X"))
+}
+
+type rejectAll struct{ adviceFunc }
+
+func (rejectAll) ValidateJP(jp *Joinpoint) error {
+	return fmt.Errorf("cannot apply to %s", jp.FQN())
+}
+
+func TestValidatorFailsWeave(t *testing.T) {
+	p := NewProgram("test")
+	p.Class("A").Proc("m", func() {})
+	bad := rejectAll{adviceFunc{name: "bad", prec: 1,
+		wrap: func(jp *Joinpoint, next HandlerFunc) HandlerFunc { return next }}}
+	p.Use(&SimpleAspect{Name: "asp", Bind: []Binding{bind("call(* A.m(..))", bad)}})
+	if err := p.Weave(); err == nil {
+		t.Fatal("Weave succeeded despite validator error")
+	}
+}
+
+func TestReport(t *testing.T) {
+	p := NewProgram("test")
+	var log []string
+	p.Class("B").Proc("z", func() {})
+	p.Class("A").ForProc("loop", func(lo, hi, step int) {})
+	p.MustAnnotate("A.loop", testAnno{})
+	p.Use(&SimpleAspect{Name: "asp", Bind: []Binding{
+		bind("call(* A.loop(..))", traceAdvice{tag: "t", prec: 1, log: &log})}})
+	p.MustWeave()
+	rep := p.Report()
+	if len(rep) != 2 {
+		t.Fatalf("report has %d entries", len(rep))
+	}
+	if rep[0].FQN != "A.loop" || rep[1].FQN != "B.z" {
+		t.Fatalf("report not sorted: %+v", rep)
+	}
+	if rep[0].Kind != ForKind || len(rep[0].Advice) != 1 || rep[0].Advice[0] != "asp/t" {
+		t.Fatalf("report entry wrong: %+v", rep[0])
+	}
+	if len(rep[0].Annotations) != 1 || rep[0].Annotations[0] != "Marked" {
+		t.Fatalf("annotations missing: %+v", rep[0])
+	}
+	if len(rep[1].Advice) != 0 {
+		t.Fatalf("unwoven method reports advice: %+v", rep[1])
+	}
+}
+
+func TestKeyedProc(t *testing.T) {
+	p := NewProgram("test")
+	var got int
+	f := p.Class("A").KeyedProc("k", func(key int) { got = key })
+	f(17)
+	if got != 17 {
+		t.Fatalf("key = %d", got)
+	}
+	if jp := p.Method("A.k").JP(); jp.Kind() != KeyedKind || jp.ArgKinds()[0] != "int" {
+		t.Fatal("keyed joinpoint metadata wrong")
+	}
+}
+
+func BenchmarkUnwovenCall(b *testing.B) {
+	p := NewProgram("bench")
+	var sink int
+	f := p.Class("A").Proc("m", func() { sink++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f()
+	}
+	_ = sink
+}
+
+func BenchmarkWovenCallNoWorkerAdvice(b *testing.B) {
+	p := NewProgram("bench")
+	var sink int
+	f := p.Class("A").Proc("m", func() { sink++ })
+	pass := adviceFunc{name: "pass", prec: 1,
+		wrap: func(jp *Joinpoint, next HandlerFunc) HandlerFunc { return next }}
+	p.Use(&SimpleAspect{Name: "asp", Bind: []Binding{bind("call(* A.m(..))", pass)}})
+	p.MustWeave()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f()
+	}
+	_ = sink
+}
+
+func BenchmarkWovenCallWorkerAdvice(b *testing.B) {
+	p := NewProgram("bench")
+	var sink int
+	f := p.Class("A").Proc("m", func() { sink++ })
+	pass := adviceFunc{name: "pass", prec: 1, worker: true,
+		wrap: func(jp *Joinpoint, next HandlerFunc) HandlerFunc { return next }}
+	p.Use(&SimpleAspect{Name: "asp", Bind: []Binding{bind("call(* A.m(..))", pass)}})
+	p.MustWeave()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f()
+	}
+	_ = sink
+}
