@@ -266,6 +266,25 @@ var NumThreads = core.NumThreads
 // InParallel reports whether the caller is inside a parallel region.
 var InParallel = core.InParallel
 
+// Level reports the parallel-region nesting depth at the caller: 0 outside
+// any region, 1 inside an outermost region, and so on.
+var Level = core.Level
+
+// SetNested enables or disables nested parallel regions (the analogue of
+// OMP_NESTED; enabled by default). With nesting disabled, a region entered
+// from inside a team runs serialized on a single-worker inner team. It
+// returns the previous setting.
+var SetNested = core.SetNested
+
+// NestedEnabled reports whether nested parallel regions spawn real teams.
+var NestedEnabled = core.NestedEnabled
+
+// TaskYield is an explicit task scheduling point: the calling worker
+// executes up to n queued deferred tasks of its team (its own first, then
+// stolen from siblings) and reports how many ran. Outside parallel regions
+// it is a no-op — tasks spawned there run on their own goroutines.
+var TaskYield = core.TaskYield
+
 // SetDefaultThreads sets the process-wide default team size (0 restores
 // the GOMAXPROCS default); it returns the previous value.
 var SetDefaultThreads = core.SetDefaultThreads

@@ -1,0 +1,3 @@
+module aomplib
+
+go 1.24

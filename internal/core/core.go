@@ -66,6 +66,25 @@ func NumThreads() int { return rt.NumThreads() }
 // InParallel reports whether the caller executes inside a parallel region.
 func InParallel() bool { return rt.Current() != nil }
 
+// Level reports the parallel-region nesting depth at the caller: 0 outside
+// any region, 1 inside an outermost region, and so on.
+func Level() int { return rt.Level() }
+
+// SetNested enables or disables nested parallel regions (the analogue of
+// OMP_NESTED; enabled by default). With nesting disabled, a region entered
+// from inside a team runs serialized on a single-worker inner team. It
+// returns the previous setting.
+func SetNested(on bool) bool { return rt.SetNested(on) }
+
+// NestedEnabled reports whether nested parallel regions spawn real teams.
+func NestedEnabled() bool { return rt.NestedEnabled() }
+
+// TaskYield is an explicit task scheduling point: the calling worker
+// executes up to n queued tasks of its team (its own first, then stolen
+// from siblings) and reports how many ran. Outside parallel regions it is
+// a no-op.
+func TaskYield(n int) int { return rt.TaskYield(n) }
+
 // defaultThreads overrides the team size used by regions that do not set
 // one; 0 means GOMAXPROCS. Benchmark harnesses use it to sweep thread
 // counts without touching aspect definitions.

@@ -84,14 +84,6 @@ func (a *ForAspect) Bindings() []weaver.Binding {
 			return nil
 		},
 		wrap: func(jp *weaver.Joinpoint, next weaver.HandlerFunc) weaver.HandlerFunc {
-			runSub := func(c *weaver.Call, sub sched.Space) {
-				if sub.Count() == 0 {
-					return
-				}
-				sc := *c
-				sc.Lo, sc.Hi, sc.Step = sub.Lo, sub.Hi, sub.Step
-				next(&sc)
-			}
 			return func(c *weaver.Call) {
 				w := c.Worker
 				if w == nil {
@@ -100,14 +92,26 @@ func (a *ForAspect) Bindings() []weaver.Binding {
 				}
 				sp := sched.Space{Lo: c.Lo, Hi: c.Hi, Step: c.Step}
 				fc := rt.BeginFor(w, a, sp, a.kind, a.chunk)
+				// One pooled sub-call is reused for every sub-range this
+				// worker executes, so dynamic/guided chunking does not
+				// allocate per chunk.
+				sc := weaver.GetCall()
+				runSub := func(sub sched.Space) {
+					if sub.Count() == 0 {
+						return
+					}
+					*sc = *c
+					sc.Lo, sc.Hi, sc.Step = sub.Lo, sub.Hi, sub.Step
+					next(sc)
+				}
 				switch a.kind {
 				case sched.StaticBlock:
-					runSub(c, sched.Block(sp, w.Team.Size, w.ID))
+					runSub(sched.Block(sp, w.Team.Size, w.ID))
 				case sched.StaticCyclic:
-					runSub(c, sched.Cyclic(sp, w.Team.Size, w.ID))
+					runSub(sched.Cyclic(sp, w.Team.Size, w.ID))
 				case sched.Custom:
 					for _, sub := range a.custom(w.ID, w.Team.Size, sp) {
-						runSub(c, sub)
+						runSub(sub)
 					}
 				default: // Dynamic, Guided
 					for {
@@ -115,9 +119,10 @@ func (a *ForAspect) Bindings() []weaver.Binding {
 						if !ok {
 							break
 						}
-						runSub(c, sub)
+						runSub(sub)
 					}
 				}
+				weaver.PutCall(sc)
 				fc.EndFor()
 				if a.implicitBarrier() {
 					w.Team.Barrier().Wait()

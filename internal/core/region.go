@@ -63,19 +63,21 @@ func (a *ParallelRegionAspect) Bindings() []weaver.Binding {
 				if n <= 0 {
 					n = DefaultThreads()
 				}
-				// Each worker runs the body on its own copy of the Call so
-				// range rewrites and results stay private (Fig. 9: every
-				// thread, master included, "proceeds"). The copy source is
-				// snapshotted before the team starts so the master's result
-				// write cannot race with worker copies.
+				// Each worker runs the body on its own (pooled) copy of the
+				// Call so range rewrites and results stay private (Fig. 9:
+				// every thread, master included, "proceeds"). The copy
+				// source is snapshotted before the team starts so the
+				// master's result write cannot race with worker copies.
 				template := *c
 				rt.Region(n, func(w *rt.Worker) {
-					wc := template
+					wc := weaver.GetCall()
+					*wc = template
 					wc.Worker = w
-					next(&wc)
+					next(wc)
 					if w.ID == 0 {
 						c.Ret = wc.Ret // master's result is the region's result
 					}
+					weaver.PutCall(wc)
 				})
 			}
 		},

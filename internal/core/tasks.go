@@ -81,11 +81,11 @@ func (a *TaskWaitAspect) Bindings() []weaver.Binding {
 		wrap: func(jp *weaver.Joinpoint, next weaver.HandlerFunc) weaver.HandlerFunc {
 			return func(c *weaver.Call) {
 				if !a.after {
-					rt.TaskScope().Wait()
+					rt.TaskWait()
 				}
 				next(c)
 				if a.after {
-					rt.TaskScope().Wait()
+					rt.TaskWait()
 				}
 			}
 		},

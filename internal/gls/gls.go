@@ -4,131 +4,59 @@
 // running anywhere in the dynamic extent of a parallel region must be able
 // to discover the worker (thread id, team) that is executing it, exactly as
 // Java code can via ThreadLocal. Go deliberately hides goroutine identity,
-// so this package reconstructs it by parsing the header line emitted by
-// runtime.Stack, which is stable across all Go releases to date
-// ("goroutine <id> [running]:"). The identifier is used only as a map key;
-// no scheduling decision depends on it.
+// so this package reconstructs a per-goroutine binding stack by other
+// means. Two backends are provided:
 //
-// The store is sharded to keep contention low when many workers register
-// and deregister around parallel-region boundaries. Lookup cost is dominated
-// by runtime.Stack (≈1µs); AOmpLib only performs lookups at woven
-// method-call granularity (outer loops), never in inner loops, mirroring the
-// paper's claim that advice overhead is negligible at region/work-sharing
-// granularity.
+//   - The default backend (label.go) stores the binding stack in the
+//     goroutine's profiler-label slot, reached through the stable
+//     runtime/pprof label hooks. Lookup is a pointer load plus a one-word
+//     validation — a few nanoseconds — which is what lets Runtime v2 keep
+//     woven dispatch allocation-free and close to direct-call cost even for
+//     worker-dependent advice. Because the label slot is copied to new
+//     goroutines at spawn, bindings are inherited by goroutines started
+//     inside a parallel region's dynamic extent (the OpenMP-task-like
+//     semantics rt builds on). Programs that set their own profiler labels
+//     (runtime/pprof.Do) while inside a region temporarily shadow the
+//     binding; lookups then degrade to "no binding" instead of
+//     misbehaving.
+//
+//   - A portable fallback (portable.go, build tag aomplib_portable_gls)
+//     keeps the original sharded map keyed by the goroutine id parsed from
+//     runtime.Stack. It has no spawn-time inheritance and a ~µs lookup, but
+//     depends on nothing beyond the documented runtime.Stack header format.
+//
+// The store is a stack (rather than a single slot) to support nested
+// parallel regions: each region entry pushes the inner worker context and
+// pops it on exit, restoring the enclosing one. Push and Pop must be paired
+// on the same goroutine.
 package gls
 
 import (
 	"bytes"
 	"runtime"
-	"strconv"
-	"sync"
 )
-
-// shardCount must be a power of two; 64 shards keep the per-shard mutexes
-// uncontended for the team sizes the library targets (≤ hundreds).
-const shardCount = 64
-
-type shard struct {
-	mu sync.RWMutex
-	m  map[int64][]any
-}
-
-// Store maps the current goroutine to a stack of values. A stack (rather
-// than a single slot) is required to support nested parallel regions: each
-// region entry pushes the inner worker context and pops it on exit,
-// restoring the enclosing one.
-type Store struct {
-	shards [shardCount]shard
-}
-
-// NewStore returns an empty store.
-func NewStore() *Store {
-	s := &Store{}
-	for i := range s.shards {
-		s.shards[i].m = make(map[int64][]any)
-	}
-	return s
-}
-
-func (s *Store) shardFor(id int64) *shard {
-	return &s.shards[uint64(id)&(shardCount-1)]
-}
-
-// Push associates v with the current goroutine, stacking on top of any
-// previous association (nested regions).
-func (s *Store) Push(v any) {
-	id := Goid()
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	sh.m[id] = append(sh.m[id], v)
-	sh.mu.Unlock()
-}
-
-// Pop removes the most recent association for the current goroutine.
-// It panics if the goroutine has no association, which always indicates a
-// Push/Pop pairing bug in the runtime layer.
-func (s *Store) Pop() {
-	id := Goid()
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	stack := sh.m[id]
-	if len(stack) == 0 {
-		sh.mu.Unlock()
-		panic("gls: Pop without matching Push")
-	}
-	if len(stack) == 1 {
-		delete(sh.m, id)
-	} else {
-		sh.m[id] = stack[:len(stack)-1]
-	}
-	sh.mu.Unlock()
-}
-
-// Current returns the most recent value associated with the current
-// goroutine, or nil if there is none (code running outside any parallel
-// region).
-func (s *Store) Current() any {
-	id := Goid()
-	sh := s.shardFor(id)
-	sh.mu.RLock()
-	stack := sh.m[id]
-	var v any
-	if n := len(stack); n > 0 {
-		v = stack[n-1]
-	}
-	sh.mu.RUnlock()
-	return v
-}
-
-// Depth reports the nesting depth registered for the current goroutine.
-func (s *Store) Depth() int {
-	id := Goid()
-	sh := s.shardFor(id)
-	sh.mu.RLock()
-	d := len(sh.m[id])
-	sh.mu.RUnlock()
-	return d
-}
 
 var goroutinePrefix = []byte("goroutine ")
 
-// Goid returns the runtime id of the calling goroutine.
+// Goid returns the runtime id of the calling goroutine, parsed from the
+// runtime.Stack header line ("goroutine <id> [running]:"), which is stable
+// across all Go releases to date. It allocates nothing and is used by the
+// portable backend and by diagnostics; the identifier is only ever a map
+// key — no scheduling decision depends on it.
 func Goid() int64 {
-	buf := make([]byte, 64)
-	n := runtime.Stack(buf, false)
-	buf = buf[:n]
-	// Header: "goroutine 123 [running]:"
+	var stack [64]byte
+	n := runtime.Stack(stack[:], false)
+	buf := stack[:n]
 	if !bytes.HasPrefix(buf, goroutinePrefix) {
 		panic("gls: unexpected runtime.Stack header: " + string(buf))
 	}
 	buf = buf[len(goroutinePrefix):]
-	sp := bytes.IndexByte(buf, ' ')
-	if sp < 0 {
-		panic("gls: unexpected runtime.Stack header")
+	var id int64
+	for i := 0; i < len(buf) && buf[i] >= '0' && buf[i] <= '9'; i++ {
+		id = id*10 + int64(buf[i]-'0')
 	}
-	id, err := strconv.ParseInt(string(buf[:sp]), 10, 64)
-	if err != nil {
-		panic("gls: cannot parse goroutine id: " + err.Error())
+	if id == 0 {
+		panic("gls: cannot parse goroutine id from runtime.Stack header")
 	}
 	return id
 }

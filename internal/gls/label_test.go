@@ -1,0 +1,91 @@
+//go:build !aomplib_portable_gls
+
+package gls
+
+import (
+	"sync"
+	"testing"
+)
+
+// These tests pin down semantics specific to the label backend: bindings
+// active at spawn time are inherited by the child goroutine — the property
+// rt uses to extend a region's dynamic extent to goroutines started inside
+// it.
+
+func TestInheritedBySpawnedGoroutine(t *testing.T) {
+	s := NewStore()
+	s.Push("region")
+	defer s.Pop()
+	got := make(chan any, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got <- s.Current()
+	}()
+	wg.Wait()
+	if v := <-got; v != "region" {
+		t.Fatalf("child saw %v, want inherited binding", v)
+	}
+}
+
+func TestChildPushDoesNotLeakToParent(t *testing.T) {
+	s := NewStore()
+	s.Push("outer")
+	defer s.Pop()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Push("child")
+		if s.Current() != "child" {
+			t.Error("child did not see its own push")
+		}
+		s.Pop()
+		if s.Current() != "outer" {
+			t.Error("child pop did not restore inherited binding")
+		}
+	}()
+	wg.Wait()
+	if s.Current() != "outer" {
+		t.Fatalf("parent binding clobbered: %v", s.Current())
+	}
+}
+
+// A chain inherited mid-stack stays readable while the parent keeps
+// pushing and popping its own frames (race-detector coverage for the
+// atomic prev links).
+func TestConcurrentTraversalWhileParentMutates(t *testing.T) {
+	s := NewStore()
+	s.Push("base")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v := s.Current(); v != "base" {
+					t.Error("inherited binding lost during parent mutation")
+					return
+				}
+			}
+		}()
+	}
+	other := NewStore()
+	for i := 0; i < 1000; i++ {
+		other.Push(i)
+		if other.Current() != i {
+			t.Fatal("parent lost its own binding")
+		}
+		other.Pop()
+	}
+	close(stop)
+	wg.Wait()
+	s.Pop()
+}

@@ -1,0 +1,107 @@
+//go:build aomplib_portable_gls
+
+package gls
+
+import "sync"
+
+// Portable backend: a sharded map keyed by the goroutine id parsed from
+// runtime.Stack. Lookup cost is dominated by runtime.Stack (≈1µs); AOmpLib
+// only performs lookups at woven method-call granularity (outer loops),
+// never in inner loops. Unlike the label backend, bindings are NOT
+// inherited by spawned goroutines.
+
+// shardCount must be a power of two; 64 shards keep the per-shard mutexes
+// uncontended for the team sizes the library targets (≤ hundreds).
+const shardCount = 64
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[int64][]any
+}
+
+// Store maps the current goroutine to a stack of values.
+type Store struct {
+	shards [shardCount]shard
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[int64][]any)
+	}
+	return s
+}
+
+func (s *Store) shardFor(id int64) *shard {
+	return &s.shards[uint64(id)&(shardCount-1)]
+}
+
+// Token exists for API parity with the label backend; the map store needs
+// no state to rewind (it is immune to profiler-label clobbering).
+type Token struct{}
+
+// PushToken is Push returning a Token for Restore.
+func (s *Store) PushToken(v any) Token {
+	s.Push(v)
+	return Token{}
+}
+
+// Restore undoes the matching PushToken.
+func (s *Store) Restore(Token) { s.Pop() }
+
+// Push associates v with the current goroutine, stacking on top of any
+// previous association (nested regions).
+func (s *Store) Push(v any) {
+	id := Goid()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.m[id] = append(sh.m[id], v)
+	sh.mu.Unlock()
+}
+
+// Pop removes the most recent association for the current goroutine.
+// It panics if the goroutine has no association, which always indicates a
+// Push/Pop pairing bug in the runtime layer.
+func (s *Store) Pop() {
+	id := Goid()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	stack := sh.m[id]
+	if len(stack) == 0 {
+		sh.mu.Unlock()
+		panic("gls: Pop without matching Push")
+	}
+	if len(stack) == 1 {
+		delete(sh.m, id)
+	} else {
+		sh.m[id] = stack[:len(stack)-1]
+	}
+	sh.mu.Unlock()
+}
+
+// Current returns the most recent value associated with the current
+// goroutine, or nil if there is none (code running outside any parallel
+// region).
+func (s *Store) Current() any {
+	id := Goid()
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	stack := sh.m[id]
+	var v any
+	if n := len(stack); n > 0 {
+		v = stack[n-1]
+	}
+	sh.mu.RUnlock()
+	return v
+}
+
+// Depth reports the nesting depth registered for the current goroutine.
+func (s *Store) Depth() int {
+	id := Goid()
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	d := len(sh.m[id])
+	sh.mu.RUnlock()
+	return d
+}

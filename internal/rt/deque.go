@@ -1,0 +1,144 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// task is one deferred activity spawned by @Task or @FutureTask inside a
+// parallel region. It is queued on the spawning worker's deque and executed
+// by whichever team worker reaches it first — the spawner at a scheduling
+// point, or a sibling that steals it. state makes execution claimable out
+// of band: a future's getter (possibly on a different, nested team) or a
+// straggler spawner can take ownership directly, and whoever later pops the
+// queued reference finds it already claimed and skips it.
+type task struct {
+	fn    func()
+	group *TaskGroup
+	state atomic.Int32 // 0 = queued, 1 = claimed by an executor
+}
+
+// claim takes execution ownership; exactly one caller wins.
+func (t *task) claim() bool { return t.state.CompareAndSwap(0, 1) }
+
+// run claims and executes the task, reporting whether this caller executed
+// it (false: someone else already claimed it).
+func (t *task) run() bool {
+	if !t.claim() {
+		return false
+	}
+	t.exec()
+	return true
+}
+
+// exec executes an already-claimed task, guaranteeing the group is
+// signalled even if the body panics (the panic then propagates to the
+// executing worker, where the region machinery re-raises it on the master).
+func (t *task) exec() {
+	defer t.group.Done()
+	t.fn()
+}
+
+// deque is a double-ended task queue owned by one worker. The owner pushes
+// and pops at the bottom (LIFO, keeping its working set hot), thieves take
+// from the top (FIFO, stealing the oldest — typically largest — work
+// first), the classic work-stealing discipline. A mutex guards the ring:
+// steals are rare relative to pushes and the critical sections are a few
+// instructions, so a lock-free Chase-Lev buys little here while a mutex
+// keeps the structure trivially correct under the race detector and allows
+// spawn-from-inherited-context goroutines to share the bottom end safely.
+type deque struct {
+	mu   sync.Mutex
+	buf  []*task
+	head int // index of the top (oldest) element
+	n    int // number of queued tasks
+}
+
+// push adds t at the bottom of the deque, growing the ring as needed.
+func (d *deque) push(t *task) {
+	d.mu.Lock()
+	if d.n == len(d.buf) {
+		grown := make([]*task, max(8, 2*len(d.buf)))
+		for i := 0; i < d.n; i++ {
+			grown[i] = d.buf[(d.head+i)%len(d.buf)]
+		}
+		d.buf, d.head = grown, 0
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = t
+	d.n++
+	d.mu.Unlock()
+}
+
+// popBottom removes and returns the most recently pushed task, or nil.
+func (d *deque) popBottom() *task {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	d.n--
+	i := (d.head + d.n) % len(d.buf)
+	t := d.buf[i]
+	d.buf[i] = nil
+	d.mu.Unlock()
+	return t
+}
+
+// stealTop removes and returns the oldest queued task, or nil.
+func (d *deque) stealTop() *task {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	t := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	d.mu.Unlock()
+	return t
+}
+
+// size reports the number of queued tasks (diagnostics/tests).
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// findTask returns the next task this worker should execute: its own
+// newest first, then — when its deque is empty — one stolen from a random
+// sibling. Returns nil when no queued work is visible anywhere in the team.
+func (w *Worker) findTask() *task {
+	if t := w.deque.popBottom(); t != nil {
+		return t
+	}
+	ws := w.Team.workers
+	if len(ws) <= 1 {
+		return nil
+	}
+	start := int(w.nextRand() % uint64(len(ws)))
+	for i := 0; i < len(ws); i++ {
+		v := ws[(start+i)%len(ws)]
+		if v == w {
+			continue
+		}
+		if t := v.deque.stealTop(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// nextRand is a per-worker xorshift64 used for steal-victim selection; no
+// locking, no global rand contention. The state is atomic only so that
+// goroutines sharing an inherited worker context stay race-clean — the
+// sequence quality does not matter, victim choice just needs to spread.
+func (w *Worker) nextRand() uint64 {
+	x := w.rng.Load()
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng.Store(x)
+	return x
+}

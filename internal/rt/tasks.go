@@ -6,10 +6,18 @@ import "sync"
 // @FutureTask constructs. Unlike sync.WaitGroup it tolerates Add after a
 // concurrent Wait has begun (new tasks simply extend the wait), which is
 // the semantics @TaskWait needs when tasks spawn tasks.
+//
+// Runtime v2: inside a parallel region, spawned tasks are not goroutines —
+// they are queued on the spawning worker's deque and executed at task
+// scheduling points (TaskWait, Future.Get, TaskYield, region end) by
+// whichever team worker reaches them first, with idle workers stealing
+// from busy ones. events counts queue activity so helping waiters never
+// sleep through a freshly pushed task.
 type TaskGroup struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending int
+	events  uint64
 }
 
 // NewTaskGroup returns an empty group.
@@ -26,6 +34,15 @@ func (g *TaskGroup) Add(n int) {
 	g.mu.Unlock()
 }
 
+// notify records queue activity and wakes waiters so they can (re)try to
+// claim queued work. Called after a task becomes visible in a deque.
+func (g *TaskGroup) notify() {
+	g.mu.Lock()
+	g.events++
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
 // Done marks one task complete.
 func (g *TaskGroup) Done() {
 	g.mu.Lock()
@@ -35,17 +52,44 @@ func (g *TaskGroup) Done() {
 		panic("rt: TaskGroup counter went negative")
 	}
 	if g.pending == 0 {
+		g.events++
 		g.cond.Broadcast()
 	}
 	g.mu.Unlock()
 }
 
 // Wait blocks until no tasks are pending — the join point between the
-// spawning and the spawned activities (@TaskWait).
+// spawning and the spawned activities (@TaskWait). It does not execute
+// queued tasks itself; workers inside a region should use the package
+// function TaskWait, which helps drain the queues while waiting.
 func (g *TaskGroup) Wait() {
 	g.mu.Lock()
 	for g.pending > 0 {
 		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// helpWait drains tasks until none are pending, executing queued work on w
+// instead of sleeping whenever any is visible. This is both the @TaskWait
+// implementation for workers and the implicit join at region end.
+func (g *TaskGroup) helpWait(w *Worker) {
+	g.mu.Lock()
+	for g.pending > 0 {
+		v := g.events
+		g.mu.Unlock()
+		if t := w.findTask(); t != nil {
+			t.run()
+			g.mu.Lock()
+			continue
+		}
+		g.mu.Lock()
+		// Sleep only if nothing was queued or completed since the failed
+		// claim above — otherwise retry immediately (a task published
+		// between findTask and re-lock would be lost to a sleeper).
+		if g.pending > 0 && g.events == v {
+			g.cond.Wait()
+		}
 	}
 	g.mu.Unlock()
 }
@@ -70,25 +114,68 @@ func TaskScope() *TaskGroup {
 	return globalTasks
 }
 
-// Spawn runs body asynchronously under the caller's task scope. If the
-// caller is a worker, the spawned goroutine inherits its worker context so
-// the task executes within the region's dynamic extent (it observes the
-// same team, thread id and thread-local state as its spawner, which
-// mirrors an untied OpenMP task executed by its creating thread).
-func Spawn(body func()) {
-	g := TaskScope()
-	g.Add(1)
-	parent := Current()
-	go func() {
-		defer g.Done()
-		if parent != nil {
-			glsContexts.Add(1)
-			current.Push(parent)
-			defer func() {
-				current.Pop()
-				glsContexts.Add(-1)
-			}()
+// TaskWait joins all outstanding tasks of the caller's scope (@TaskWait).
+// Inside a region the caller executes queued tasks while waiting (helping,
+// so the join cannot starve); outside it simply blocks on the global group.
+func TaskWait() {
+	if w := Current(); w != nil {
+		if g := w.Team.tasksIfAny(); g != nil {
+			g.helpWait(w)
 		}
+		return
+	}
+	globalTasks.Wait()
+}
+
+// TaskYield is an explicit task scheduling point: the calling worker
+// executes up to n queued tasks of its team (its own first, then stolen).
+// It reports how many ran. Outside a parallel region it is a no-op — tasks
+// spawned there run on their own goroutines already.
+func TaskYield(n int) int {
+	w := Current()
+	if w == nil {
+		return 0
+	}
+	ran := 0
+	for ran < n {
+		t := w.findTask()
+		if t == nil {
+			break
+		}
+		if t.run() {
+			ran++
+		}
+	}
+	return ran
+}
+
+// Spawn runs body asynchronously under the caller's task scope (@Task).
+//
+// Inside a parallel region the task is deferred: it is queued on the
+// calling worker's deque and executed at the next task scheduling point by
+// a team worker — possibly a different one than the spawner, exactly as an
+// OpenMP task may be executed by any thread of the team. The task observes
+// the worker context of its executor. Outside any region (or once the
+// spawning team has completed) the task runs on its own goroutine under
+// the global scope.
+func Spawn(body func()) {
+	if w := Current(); w != nil && !w.Team.completed.Load() {
+		g := w.Team.Tasks()
+		g.Add(1)
+		t := &task{fn: body, group: g}
+		w.deque.push(t)
+		g.notify()
+		// The team may have completed (and drained) between the check
+		// above and the push; reclaim the task and run it asynchronously
+		// so it cannot be stranded on a dead team's deque.
+		if w.Team.completed.Load() && t.claim() {
+			go t.exec()
+		}
+		return
+	}
+	globalTasks.Add(1)
+	go func() {
+		defer globalTasks.Done()
 		body()
 	}()
 }
@@ -99,6 +186,7 @@ func Spawn(body func()) {
 type Future struct {
 	done chan struct{}
 	val  any
+	task *task // the deferred producer, when team-queued; claimable by Get
 }
 
 // NewFuture returns an unresolved future.
@@ -115,33 +203,72 @@ func ResolvedFuture(v any) *Future {
 }
 
 // SpawnFuture runs fn asynchronously under the caller's task scope and
-// returns a Future resolved with its result.
+// returns a Future resolved with its result. Inside a region the task is
+// deferred to the team's deques like Spawn; the future's getter is a
+// scheduling point, so a worker that demands the value executes queued
+// tasks (including, typically, this one) instead of deadlocking on it.
 func SpawnFuture(fn func() any) *Future {
 	f := NewFuture()
-	g := TaskScope()
-	g.Add(1)
-	parent := Current()
-	go func() {
-		defer g.Done()
-		if parent != nil {
-			glsContexts.Add(1)
-			current.Push(parent)
-			defer func() {
-				current.Pop()
-				glsContexts.Add(-1)
-			}()
-		}
+	resolve := func() {
 		f.val = fn()
 		close(f.done)
+	}
+	if w := Current(); w != nil && !w.Team.completed.Load() {
+		g := w.Team.Tasks()
+		g.Add(1)
+		t := &task{fn: resolve, group: g}
+		f.task = t
+		w.deque.push(t)
+		g.notify()
+		if w.Team.completed.Load() && t.claim() {
+			go t.exec()
+		}
+		return f
+	}
+	globalTasks.Add(1)
+	go func() {
+		defer globalTasks.Done()
+		resolve()
 	}()
 	return f
 }
 
 // Get blocks until the future resolves and returns its value
-// (@FutureResult: getters "act as synchronisation points").
+// (@FutureResult: getters "act as synchronisation points"). A worker
+// calling Get helps execute queued team tasks while the value is not yet
+// available; if the producing task is still queued — possibly on an
+// enclosing team, unreachable from a nested region's deques — Get claims
+// and executes it directly, so demanding a future can never deadlock on
+// its own deferred producer.
 func (f *Future) Get() any {
-	<-f.done
+	if !f.Resolved() {
+		if w := Current(); w != nil {
+			f.help(w)
+		}
+		if f.task != nil && f.task.run() {
+			// Executed here: f.done is closed now.
+		}
+		<-f.done
+	}
 	return f.val
+}
+
+// help runs queued tasks on w until the future resolves or no queued work
+// is visible (in which case the task is in flight on another worker and
+// blocking on the channel is safe).
+func (f *Future) help(w *Worker) {
+	for {
+		select {
+		case <-f.done:
+			return
+		default:
+		}
+		t := w.findTask()
+		if t == nil {
+			return
+		}
+		t.run()
+	}
 }
 
 // Resolved reports whether the value is available without blocking.

@@ -11,12 +11,14 @@ import (
 
 // current holds the per-goroutine stack of worker contexts. Parallel
 // regions push a Worker on each participating goroutine; nested regions
-// stack naturally.
+// stack naturally. With the default gls backend the binding extends to
+// goroutines spawned inside the region's dynamic extent.
 var current = gls.NewStore()
 
 // glsContexts counts live worker registrations, so Current can answer
 // "no parallel region anywhere" with one atomic load — keeping woven
-// calls in sequential programs at direct-call cost.
+// calls in sequential programs at direct-call cost even under the
+// portable gls backend, whose per-goroutine lookup is comparatively slow.
 var glsContexts atomic.Int64
 
 // Current returns the Worker executing on this goroutine, or nil when the
@@ -48,10 +50,33 @@ func NumThreads() int {
 	return 1
 }
 
+// Level reports the parallel-region nesting depth at the caller: 0 outside
+// any region, 1 inside an outermost region, and so on.
+func Level() int {
+	if w := Current(); w != nil {
+		return w.Team.Level
+	}
+	return 0
+}
+
 // DefaultThreads is the team size used when a parallel region does not
 // specify one; it mirrors OpenMP's default of one thread per available
 // processor.
 func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// nestedOff gates nested parallel regions (the analogue of OMP_NESTED).
+// Nesting is enabled by default; when disabled, a Region entered from
+// inside a team runs serialized — a fresh inner team of one worker — so
+// ThreadID/NumThreads/barriers keep consistent inner-team semantics either
+// way. The zero value means "enabled" so the gate costs one atomic load.
+var nestedOff atomic.Bool
+
+// SetNested enables or disables nested parallel regions, returning the
+// previous setting.
+func SetNested(on bool) bool { return !nestedOff.Swap(!on) }
+
+// NestedEnabled reports whether nested parallel regions spawn real teams.
+func NestedEnabled() bool { return !nestedOff.Load() }
 
 // Team is a team of workers executing one parallel region entry.
 type Team struct {
@@ -63,10 +88,18 @@ type Team struct {
 	// level when entered from sequential code).
 	Parent *Worker
 
+	// workers lists all team members (index == Worker.ID); it is what
+	// task stealing iterates over.
+	workers []*Worker
+
 	barrier *Barrier
-	tasks   *TaskGroup
+
+	// completed flips once the region has fully joined; spawns observed
+	// after that fall back to the global (goroutine-per-task) scope.
+	completed atomic.Bool
 
 	mu         sync.Mutex
+	tasks      *TaskGroup // lazily created on first task spawn/wait
 	constructs map[any]map[int64]*instanceSlot
 }
 
@@ -76,21 +109,59 @@ type instanceSlot struct {
 }
 
 // Worker is one activity in a team. Exported fields are safe to read from
-// the worker's own goroutine; maps are worker-private.
+// the worker's own goroutine; maps are worker-private and lazily created.
 type Worker struct {
 	ID   int
 	Team *Team
 
+	deque deque         // pending deferred tasks (stealable by siblings)
+	rng   atomic.Uint64 // steal-victim selection state
+
 	encounters map[any]int64
 	activeFor  []*ForContext // stack: nested work-sharing contexts
 	tls        map[any]any   // thread-local values keyed by construct identity
+	fcFree     []*ForContext // recycled work-sharing contexts
 }
 
 // Barrier returns the team barrier.
 func (t *Team) Barrier() *Barrier { return t.barrier }
 
-// Tasks returns the team task group (joined by @TaskWait and at region end).
-func (t *Team) Tasks() *TaskGroup { return t.tasks }
+// Tasks returns the team task group (joined by @TaskWait and at region
+// end), creating it on first use so task-free regions pay nothing.
+func (t *Team) Tasks() *TaskGroup {
+	t.mu.Lock()
+	if t.tasks == nil {
+		t.tasks = NewTaskGroup()
+	}
+	g := t.tasks
+	t.mu.Unlock()
+	return g
+}
+
+// tasksIfAny returns the team task group if any task activity created it.
+func (t *Team) tasksIfAny() *TaskGroup {
+	t.mu.Lock()
+	g := t.tasks
+	t.mu.Unlock()
+	return g
+}
+
+// ParentTeam returns the team enclosing this one, or nil at the outermost
+// level — the team lineage behind nested parallel regions.
+func (t *Team) ParentTeam() *Team {
+	if t.Parent == nil {
+		return nil
+	}
+	return t.Parent.Team
+}
+
+// Root returns the outermost team of this team's lineage.
+func (t *Team) Root() *Team {
+	for t.ParentTeam() != nil {
+		t = t.ParentTeam()
+	}
+	return t
+}
 
 // Region executes body with a team of n workers, reproducing paper Fig. 9:
 // the caller becomes worker 0 (the master), n-1 goroutines are spawned,
@@ -99,7 +170,10 @@ func (t *Team) Tasks() *TaskGroup { return t.tasks }
 // re-raised on the master after the join, so failures cannot be lost.
 //
 // n < 1 selects DefaultThreads(). Nested calls create a fresh inner team,
-// as the library "also supports nested parallel regions".
+// as the library "also supports nested parallel regions"; with nesting
+// disabled (SetNested(false)) the inner team has a single worker. The
+// region's end is a task scheduling point: every worker drains the team's
+// deferred tasks before the join completes.
 func Region(n int, body func(w *Worker)) {
 	if n < 1 {
 		n = DefaultThreads()
@@ -108,14 +182,19 @@ func Region(n int, body func(w *Worker)) {
 	level := 1
 	if parent != nil {
 		level = parent.Team.Level + 1
+		if !NestedEnabled() {
+			n = 1
+		}
 	}
 	team := &Team{
-		Size:       n,
-		Level:      level,
-		Parent:     parent,
-		barrier:    NewBarrier(n),
-		tasks:      NewTaskGroup(),
-		constructs: make(map[any]map[int64]*instanceSlot),
+		Size:    n,
+		Level:   level,
+		Parent:  parent,
+		barrier: NewBarrier(n),
+		workers: make([]*Worker, n),
+	}
+	for i := 0; i < n; i++ {
+		team.workers[i] = newWorker(i, team)
 	}
 
 	var (
@@ -135,40 +214,73 @@ func Region(n int, body func(w *Worker)) {
 			}
 		}()
 		glsContexts.Add(1)
-		current.Push(w)
+		tok := current.PushToken(w)
 		defer func() {
-			current.Pop()
+			current.Restore(tok)
 			glsContexts.Add(-1)
 		}()
 		body(w)
+		// Implicit region-end join for deferred tasks: each worker helps
+		// execute queued tasks (its own, then stolen) until none remain
+		// anywhere in the team.
+		if g := team.tasksIfAny(); g != nil {
+			g.helpWait(w)
+		}
 	}
 
 	for i := 1; i < n; i++ {
-		w := newWorker(i, team)
+		w := team.workers[i]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			run(w)
 		}()
 	}
-	master := newWorker(0, team)
+	master := team.workers[0]
 	run(master)
 	wg.Wait()
-	// Join any tasks spawned in the region that were not explicitly waited
-	// for, so the region's synchronisation point is complete.
-	team.tasks.Wait()
+	// Safety net: run any task still queued — stragglers spawned from
+	// goroutines that inherited a worker context around the join, or
+	// tasks left behind because worker quiesces were skipped by a panic.
+	// They execute on the master (futures must resolve even when the
+	// region fails, as they did when every task was its own goroutine);
+	// a panicking task is recorded like a worker panic and the drain
+	// resumes, so cleanup always completes and the first panic re-raises.
+	if g := team.tasksIfAny(); g != nil {
+		glsContexts.Add(1)
+		tok := current.PushToken(master)
+		for {
+			clean := true
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						clean = false
+						panicMu.Lock()
+						if !panicked {
+							panicked, panicVal = true, r
+						}
+						panicMu.Unlock()
+					}
+				}()
+				g.helpWait(master)
+			}()
+			if clean {
+				break
+			}
+		}
+		current.Restore(tok)
+		glsContexts.Add(-1)
+	}
+	team.completed.Store(true)
 	if panicked {
 		panic(panicVal)
 	}
 }
 
 func newWorker(id int, t *Team) *Worker {
-	return &Worker{
-		ID:         id,
-		Team:       t,
-		encounters: make(map[any]int64),
-		tls:        make(map[any]any),
-	}
+	w := &Worker{ID: id, Team: t}
+	w.rng.Store(uint64(id)*0x9e3779b97f4a7c15 + 0x1234567887654321)
+	return w
 }
 
 // NextEncounter returns this worker's encounter index for the construct
@@ -177,6 +289,9 @@ func newWorker(id int, t *Team) *Worker {
 // state; this requires — as in OpenMP — that such constructs are
 // encountered by all workers of the team or by none.
 func (w *Worker) NextEncounter(key any) int64 {
+	if w.encounters == nil {
+		w.encounters = make(map[any]int64)
+	}
 	n := w.encounters[key]
 	w.encounters[key] = n + 1
 	return n
@@ -187,6 +302,9 @@ func (w *Worker) NextEncounter(key any) int64 {
 // observe the same state value for the same (key, enc) pair.
 func (t *Team) Instance(key any, enc int64, factory func() any) any {
 	t.mu.Lock()
+	if t.constructs == nil {
+		t.constructs = make(map[any]map[int64]*instanceSlot)
+	}
 	byEnc := t.constructs[key]
 	if byEnc == nil {
 		byEnc = make(map[int64]*instanceSlot)

@@ -36,6 +36,8 @@ type forKey struct {
 // BeginFor establishes the work-sharing context for one encounter of the
 // construct identified by key on worker w. kind/chunk select the schedule.
 // The returned ForContext must be finished with EndFor (normally deferred).
+// Contexts are recycled through a worker-private free list, so steady-state
+// encounters of for constructs allocate nothing on the worker side.
 func BeginFor(w *Worker, key any, sp sched.Space, kind sched.Kind, chunk int) *ForContext {
 	enc := w.NextEncounter(forKey{key})
 	shared := w.Team.Instance(forKey{key}, enc, func() any {
@@ -45,17 +47,26 @@ func BeginFor(w *Worker, key any, sp sched.Space, kind sched.Kind, chunk int) *F
 		}
 		return fs
 	}).(*forShared)
-	fc := &ForContext{Space: sp, Kind: kind, Worker: w, shared: shared}
+	var fc *ForContext
+	if n := len(w.fcFree); n > 0 {
+		fc = w.fcFree[n-1]
+		w.fcFree = w.fcFree[:n-1]
+	} else {
+		fc = &ForContext{}
+	}
+	*fc = ForContext{Space: sp, Kind: kind, Worker: w, shared: shared}
 	w.activeFor = append(w.activeFor, fc)
 	w.Team.Release(forKey{key}, enc)
 	return fc
 }
 
-// EndFor pops the work-sharing context from the worker.
+// EndFor pops the work-sharing context from the worker and recycles it.
 func (fc *ForContext) EndFor() {
 	w := fc.Worker
 	if n := len(w.activeFor); n > 0 && w.activeFor[n-1] == fc {
 		w.activeFor = w.activeFor[:n-1]
+		fc.shared = nil
+		w.fcFree = append(w.fcFree, fc)
 	}
 }
 
@@ -171,6 +182,9 @@ func (s *singleState) Await() any {
 func (w *Worker) TLS(key any, factory func() any) any {
 	v, ok := w.tls[key]
 	if !ok {
+		if w.tls == nil {
+			w.tls = make(map[any]any)
+		}
 		v = factory()
 		w.tls[key] = v
 	}

@@ -282,3 +282,61 @@ func TestDispenserChunkFloor(t *testing.T) {
 		t.Fatalf("chunk<1 not floored to 1: %d %d %v", from, to, ok)
 	}
 }
+
+// Property: Split covers every iteration exactly once, for any space and
+// part count, with balanced parts.
+func TestSplitCoversExactlyOnce(t *testing.T) {
+	f := func(lo int8, count uint8, step int8, parts uint8) bool {
+		st := int(step)
+		if st == 0 {
+			st = 1
+		}
+		sp := Space{Lo: int(lo), Hi: int(lo) + int(count)*st, Step: st}
+		want := sp.Values()
+		var got []int
+		minSize, maxSize := 1<<30, 0
+		for _, sub := range sp.Split(int(parts)%9 + 1) {
+			c := sub.Count()
+			if c == 0 {
+				return false // empty parts must be omitted
+			}
+			if c < minSize {
+				minSize = c
+			}
+			if c > maxSize {
+				maxSize = c
+			}
+			got = append(got, sub.Values()...)
+		}
+		if len(want) == 0 {
+			return got == nil
+		}
+		if maxSize-minSize > 1 {
+			return false // parts must be balanced
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitEdgeCases(t *testing.T) {
+	if got := (Space{0, 0, 1}).Split(4); got != nil {
+		t.Fatalf("empty space split = %v", got)
+	}
+	if got := (Space{0, 3, 1}).Split(10); len(got) != 3 {
+		t.Fatalf("oversplit produced %d parts, want 3", len(got))
+	}
+	if got := (Space{0, 10, 1}).Split(0); len(got) != 1 || got[0] != (Space{0, 10, 1}) {
+		t.Fatalf("Split(0) = %v, want whole space", got)
+	}
+}

@@ -49,6 +49,11 @@ func TestConcurrentWeaveDuringCalls(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Complete at least one call before honoring stop: the weave
+			// loop below can finish before this goroutine is ever
+			// scheduled, and the test's invariant is that calls complete,
+			// not that they overlap the weaving.
+			f()
 			for {
 				select {
 				case <-stop:

@@ -1,6 +1,7 @@
 package weaver
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"aomplib/internal/rt"
@@ -31,6 +32,26 @@ type Call struct {
 // HandlerFunc is one stage of an advice chain; the innermost handler is
 // the original method body.
 type HandlerFunc func(*Call)
+
+// callPool recycles Call objects so the woven dispatch hot path allocates
+// nothing: the reified invocation would otherwise escape to the heap on
+// every call, because the composed chain is opaque to escape analysis.
+var callPool = sync.Pool{New: func() any { return new(Call) }}
+
+// GetCall returns a zeroed Call from the pool. Advice that re-dispatches
+// copies of a call (work-sharing sub-ranges, per-worker region copies) uses
+// the pool too, keeping those paths allocation-free at steady state.
+func GetCall() *Call {
+	return callPool.Get().(*Call)
+}
+
+// PutCall recycles c. The caller must not retain c afterwards; any advice
+// that needs call state beyond the invocation copies the Call by value
+// (tasks and futures do exactly that).
+func PutCall(c *Call) {
+	*c = Call{}
+	callPool.Put(c)
+}
 
 // chain is an immutable woven pipeline, swapped atomically so weaving and
 // unweaving are safe while calls are in flight.
@@ -77,8 +98,10 @@ func (m *Method) reset() {
 func (c *Class) Proc(name string, body func()) func() {
 	m := c.register(name, ProcKind, func(*Call) { body() })
 	return func() {
-		call := Call{JP: m.jp}
-		m.invoke(&call)
+		call := GetCall()
+		call.JP = m.jp
+		m.invoke(call)
+		PutCall(call)
 	}
 }
 
@@ -88,8 +111,10 @@ func (c *Class) Proc(name string, body func()) func() {
 func (c *Class) ForProc(name string, body func(lo, hi, step int)) func(lo, hi, step int) {
 	m := c.register(name, ForKind, func(call *Call) { body(call.Lo, call.Hi, call.Step) })
 	return func(lo, hi, step int) {
-		call := Call{JP: m.jp, Lo: lo, Hi: hi, Step: step}
-		m.invoke(&call)
+		call := GetCall()
+		call.JP, call.Lo, call.Hi, call.Step = m.jp, lo, hi, step
+		m.invoke(call)
+		PutCall(call)
 	}
 }
 
@@ -97,8 +122,10 @@ func (c *Class) ForProc(name string, body func(lo, hi, step int)) func(lo, hi, s
 func (c *Class) KeyedProc(name string, body func(key int)) func(key int) {
 	m := c.register(name, KeyedKind, func(call *Call) { body(call.Key) })
 	return func(key int) {
-		call := Call{JP: m.jp, Key: key}
-		m.invoke(&call)
+		call := GetCall()
+		call.JP, call.Key = m.jp, key
+		m.invoke(call)
+		PutCall(call)
 	}
 }
 
@@ -108,9 +135,12 @@ func (c *Class) KeyedProc(name string, body func(key int)) func(key int) {
 func (c *Class) ValueProc(name string, body func() any) func() any {
 	m := c.register(name, ValueKind, func(call *Call) { call.Ret = body() })
 	return func() any {
-		call := Call{JP: m.jp}
-		m.invoke(&call)
-		return call.Ret
+		call := GetCall()
+		call.JP = m.jp
+		m.invoke(call)
+		ret := call.Ret
+		PutCall(call)
+		return ret
 	}
 }
 
@@ -122,11 +152,14 @@ func (c *Class) ValueProc(name string, body func() any) func() any {
 func (c *Class) FutureProc(name string, body func() any) func() *rt.Future {
 	m := c.register(name, ValueKind, func(call *Call) { call.Ret = body() })
 	return func() *rt.Future {
-		call := Call{JP: m.jp}
-		m.invoke(&call)
-		if f, ok := call.Ret.(*rt.Future); ok {
+		call := GetCall()
+		call.JP = m.jp
+		m.invoke(call)
+		ret := call.Ret
+		PutCall(call)
+		if f, ok := ret.(*rt.Future); ok {
 			return f
 		}
-		return rt.ResolvedFuture(call.Ret)
+		return rt.ResolvedFuture(ret)
 	}
 }
