@@ -141,15 +141,25 @@ var ParallelRegion = core.ParallelRegion
 // (@For).
 var ForShare = core.ForShare
 
-// TaskSpawn spawns matched methods as new activities (@Task).
+// TaskSpawn spawns matched methods as new activities (@Task). Attach
+// dependence clauses with .Depend (@Depend).
 var TaskSpawn = core.TaskSpawn
 
 // TaskWaitPoint makes matched methods join points for spawned activities
 // (@TaskWait).
 var TaskWaitPoint = core.TaskWaitPoint
 
+// TaskGroupSection scopes matched methods as task groups (@TaskGroup):
+// the method joins every task spawned in its dynamic extent before
+// returning.
+var TaskGroupSection = core.TaskGroupSection
+
+// TaskLoopShare decomposes matched for methods into deferred,
+// work-stealable tasks (@TaskLoop).
+var TaskLoopShare = core.TaskLoopShare
+
 // FutureTaskSpawn runs matched value-returning methods asynchronously
-// behind a Future (@FutureTask).
+// behind a Future (@FutureTask). Attach dependence clauses with .Depend.
 var FutureTaskSpawn = core.FutureTaskSpawn
 
 // OrderedSection serialises matched keyed methods in iteration order
@@ -207,6 +217,12 @@ type (
 	ForAspect = core.ForAspect
 	// CriticalAspect is CriticalSection's aspect type.
 	CriticalAspect = core.CriticalAspect
+	// TaskAspect is TaskSpawn's aspect type (carries .Depend).
+	TaskAspect = core.TaskAspect
+	// FutureTaskAspect is FutureTaskSpawn's aspect type (carries .Depend).
+	FutureTaskAspect = core.FutureTaskAspect
+	// TaskLoopAspect is TaskLoopShare's aspect type (.Grainsize/.Collapse).
+	TaskLoopAspect = core.TaskLoopAspect
 	// ThreadLocalAspect is NewThreadLocal's aspect type.
 	ThreadLocalAspect = core.ThreadLocalAspect
 	// RWAspect is ReadersWriter's aspect type.
@@ -224,6 +240,18 @@ type (
 	For = core.For
 	// Task spawns the method as a new activity — @Task.
 	Task = core.Task
+	// Depend orders a @Task/@FutureTask after conflicting earlier spawns —
+	// @Depend(in=…, out=…, inout=…) on address keys.
+	Depend = core.Depend
+	// DepFn computes a dependence address from a keyed method's key at
+	// spawn time (dynamic @Depend clause element).
+	DepFn = core.DepFn
+	// TaskGroup makes the method a scoped wait for the tasks spawned in
+	// its dynamic extent — @TaskGroup.
+	TaskGroup = core.TaskGroup
+	// TaskLoop decomposes a for method into deferred tasks —
+	// @TaskLoop[(grainsize=n)].
+	TaskLoop = core.TaskLoop
 	// TaskWait joins spawned activities — @TaskWait.
 	TaskWait = core.TaskWait
 	// FutureTask spawns a value-returning method — @FutureTask.

@@ -2,14 +2,18 @@
 // hand-threaded JGF versions and the AOmpLib versions over the sequential
 // base programs, across all eight Java Grande benchmarks, plus the
 // Aomp-vs-MT relative difference backing the "less than 1%" claim (§V).
+// Benchmarks with a dataflow port (LUFact, SOR) additionally run the
+// @Depend-based Aomp-DF version against the barrier-based Aomp one.
 //
 // Usage:
 //
 //	go run ./cmd/jgfbench -size=test -threads=1,2 -reps=3
 //	go run ./cmd/jgfbench -size=A -threads=2 -only=crypt,moldyn
+//	go run ./cmd/jgfbench -size=test -threads=1,4 -json=BENCH_ci.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +21,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"aomplib/internal/jgf/crypt"
 	"aomplib/internal/jgf/harness"
@@ -34,6 +39,8 @@ type bench struct {
 	seq  func() harness.Instance
 	mt   func(threads int) harness.Instance
 	aomp func(threads int) harness.Instance
+	// dep is the dataflow (@Depend) version, when the benchmark has one.
+	dep func(threads int) harness.Instance
 }
 
 func suite(size string) []bench {
@@ -57,30 +64,32 @@ func suite(size string) []bench {
 	rp := pick(raytracer.SizeTest, raytracer.SizeA, raytracer.SizeB).(raytracer.Params)
 
 	return []bench{
-		{"Crypt", func() harness.Instance { return crypt.NewSeq(cp) },
-			func(t int) harness.Instance { return crypt.NewMT(cp, t) },
-			func(t int) harness.Instance { return crypt.NewAomp(cp, t) }},
-		{"LUFact", func() harness.Instance { return lufact.NewSeq(lp) },
-			func(t int) harness.Instance { return lufact.NewMT(lp, t) },
-			func(t int) harness.Instance { return lufact.NewAomp(lp, t) }},
-		{"Series", func() harness.Instance { return series.NewSeq(sp) },
-			func(t int) harness.Instance { return series.NewMT(sp, t) },
-			func(t int) harness.Instance { return series.NewAomp(sp, t) }},
-		{"SOR", func() harness.Instance { return sor.NewSeq(op) },
-			func(t int) harness.Instance { return sor.NewMT(op, t) },
-			func(t int) harness.Instance { return sor.NewAomp(op, t) }},
-		{"Sparse", func() harness.Instance { return sparse.NewSeq(pp) },
-			func(t int) harness.Instance { return sparse.NewMT(pp, t) },
-			func(t int) harness.Instance { return sparse.NewAomp(pp, t) }},
-		{"MolDyn", func() harness.Instance { return moldyn.NewSeq(mp) },
-			func(t int) harness.Instance { return moldyn.NewMT(mp, t) },
-			func(t int) harness.Instance { return moldyn.NewAomp(mp, t, moldyn.ThreadLocalStrategy) }},
-		{"MonteCarlo", func() harness.Instance { return montecarlo.NewSeq(qp) },
-			func(t int) harness.Instance { return montecarlo.NewMT(qp, t) },
-			func(t int) harness.Instance { return montecarlo.NewAomp(qp, t) }},
-		{"RayTracer", func() harness.Instance { return raytracer.NewSeq(rp) },
-			func(t int) harness.Instance { return raytracer.NewMT(rp, t) },
-			func(t int) harness.Instance { return raytracer.NewAomp(rp, t) }},
+		{name: "Crypt", seq: func() harness.Instance { return crypt.NewSeq(cp) },
+			mt:   func(t int) harness.Instance { return crypt.NewMT(cp, t) },
+			aomp: func(t int) harness.Instance { return crypt.NewAomp(cp, t) }},
+		{name: "LUFact", seq: func() harness.Instance { return lufact.NewSeq(lp) },
+			mt:   func(t int) harness.Instance { return lufact.NewMT(lp, t) },
+			aomp: func(t int) harness.Instance { return lufact.NewAomp(lp, t) },
+			dep:  func(t int) harness.Instance { return lufact.NewAompDep(lp, t) }},
+		{name: "Series", seq: func() harness.Instance { return series.NewSeq(sp) },
+			mt:   func(t int) harness.Instance { return series.NewMT(sp, t) },
+			aomp: func(t int) harness.Instance { return series.NewAomp(sp, t) }},
+		{name: "SOR", seq: func() harness.Instance { return sor.NewSeq(op) },
+			mt:   func(t int) harness.Instance { return sor.NewMT(op, t) },
+			aomp: func(t int) harness.Instance { return sor.NewAomp(op, t) },
+			dep:  func(t int) harness.Instance { return sor.NewAompDep(op, t) }},
+		{name: "Sparse", seq: func() harness.Instance { return sparse.NewSeq(pp) },
+			mt:   func(t int) harness.Instance { return sparse.NewMT(pp, t) },
+			aomp: func(t int) harness.Instance { return sparse.NewAomp(pp, t) }},
+		{name: "MolDyn", seq: func() harness.Instance { return moldyn.NewSeq(mp) },
+			mt:   func(t int) harness.Instance { return moldyn.NewMT(mp, t) },
+			aomp: func(t int) harness.Instance { return moldyn.NewAomp(mp, t, moldyn.ThreadLocalStrategy) }},
+		{name: "MonteCarlo", seq: func() harness.Instance { return montecarlo.NewSeq(qp) },
+			mt:   func(t int) harness.Instance { return montecarlo.NewMT(qp, t) },
+			aomp: func(t int) harness.Instance { return montecarlo.NewAomp(qp, t) }},
+		{name: "RayTracer", seq: func() harness.Instance { return raytracer.NewSeq(rp) },
+			mt:   func(t int) harness.Instance { return raytracer.NewMT(rp, t) },
+			aomp: func(t int) harness.Instance { return raytracer.NewAomp(rp, t) }},
 	}
 }
 
@@ -97,35 +106,100 @@ func parseThreads(s string) []int {
 	return out
 }
 
+// parseOnly validates the -only filter against the suite's benchmark
+// names; an unknown name is a hard error listing the valid ones, not a
+// silent empty run.
+func parseOnly(s string, benches []bench) map[string]bool {
+	valid := make([]string, len(benches))
+	for i, b := range benches {
+		valid[i] = strings.ToLower(b.name)
+	}
+	filter := map[string]bool{}
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(strings.ToLower(f))
+		if f == "" {
+			continue
+		}
+		known := false
+		for _, v := range valid {
+			if f == v {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "jgfbench: unknown benchmark %q in -only (valid: %s)\n",
+				f, strings.Join(valid, ", "))
+			os.Exit(2)
+		}
+		filter[f] = true
+	}
+	return filter
+}
+
+// jsonResult is one measurement in the machine-readable report.
+type jsonResult struct {
+	Benchmark string  `json:"benchmark"`
+	Version   string  `json:"version"`
+	Threads   int     `json:"threads"`
+	Seconds   float64 `json:"seconds"`
+	Speedup   float64 `json:"speedup,omitempty"`
+	Valid     bool    `json:"valid"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// jsonReport is the -json output: enough metadata to compare runs across
+// commits (the CI perf trajectory) plus every measurement.
+type jsonReport struct {
+	Schema     int          `json:"schema"`
+	Size       string       `json:"size"`
+	Threads    []int        `json:"threads"`
+	Reps       int          `json:"reps"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	GoVersion  string       `json:"go_version"`
+	Timestamp  string       `json:"timestamp"`
+	Results    []jsonResult `json:"results"`
+}
+
 func main() {
 	size := flag.String("size", "test", "problem size: test, A or B")
 	threadsFlag := flag.String("threads", fmt.Sprintf("1,%d", runtime.GOMAXPROCS(0)),
 		"comma-separated team sizes")
 	reps := flag.Int("reps", 3, "kernel repetitions (fastest kept)")
 	only := flag.String("only", "", "comma-separated benchmark filter (e.g. crypt,moldyn)")
+	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	flag.Parse()
 
 	threads := parseThreads(*threadsFlag)
-	filter := map[string]bool{}
-	for _, f := range strings.Split(*only, ",") {
-		if f = strings.TrimSpace(strings.ToLower(f)); f != "" {
-			filter[f] = true
-		}
-	}
+	benches := suite(*size)
+	filter := parseOnly(*only, benches)
 
 	table := harness.NewTable()
 	failures := 0
-	for _, b := range suite(*size) {
+	var all []harness.Measurement
+	seqSecs := map[string]float64{}
+	add := func(m harness.Measurement) {
+		table.Add(record(&failures, m))
+		all = append(all, m)
+		if m.Version == harness.Seq {
+			seqSecs[m.Benchmark] = m.Seconds
+		}
+	}
+	for _, b := range benches {
 		if len(filter) > 0 && !filter[strings.ToLower(b.name)] {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s (seq)...\n", b.name)
-		table.Add(record(&failures, harness.Measure(b.name, harness.Seq, 1, b.seq(), *reps)))
+		add(harness.Measure(b.name, harness.Seq, 1, b.seq(), *reps))
 		for _, t := range threads {
 			fmt.Fprintf(os.Stderr, "running %s (MT, %d threads)...\n", b.name, t)
-			table.Add(record(&failures, harness.Measure(b.name, harness.MT, t, b.mt(t), *reps)))
+			add(harness.Measure(b.name, harness.MT, t, b.mt(t), *reps))
 			fmt.Fprintf(os.Stderr, "running %s (Aomp, %d threads)...\n", b.name, t)
-			table.Add(record(&failures, harness.Measure(b.name, harness.Aomp, t, b.aomp(t), *reps)))
+			add(harness.Measure(b.name, harness.Aomp, t, b.aomp(t), *reps))
+			if b.dep != nil {
+				fmt.Fprintf(os.Stderr, "running %s (Aomp-DF, %d threads)...\n", b.name, t)
+				add(harness.Measure(b.name, harness.AompDep, t, b.dep(t), *reps))
+			}
 		}
 	}
 
@@ -145,10 +219,54 @@ func main() {
 			fmt.Printf("  %-12s %2d threads: %+6.2f%%\n", n, t, deltas[n]*100)
 		}
 	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, *size, threads, *reps, all, seqSecs); err != nil {
+			fmt.Fprintf(os.Stderr, "jgfbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "jgfbench: wrote %s\n", *jsonPath)
+	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "jgfbench: %d validation failures\n", failures)
 		os.Exit(1)
 	}
+}
+
+func writeJSON(path, size string, threads []int, reps int,
+	all []harness.Measurement, seqSecs map[string]float64) error {
+	rep := jsonReport{
+		Schema:     1,
+		Size:       size,
+		Threads:    threads,
+		Reps:       reps,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, m := range all {
+		r := jsonResult{
+			Benchmark: m.Benchmark,
+			Version:   string(m.Version),
+			Threads:   m.Threads,
+			Seconds:   m.Seconds,
+			Valid:     m.Err == nil,
+		}
+		if m.Err != nil {
+			r.Error = m.Err.Error()
+		}
+		if m.Version != harness.Seq && m.Seconds > 0 {
+			if s, ok := seqSecs[m.Benchmark]; ok {
+				r.Speedup = s / m.Seconds
+			}
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func record(failures *int, m harness.Measurement) harness.Measurement {

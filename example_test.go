@@ -83,3 +83,37 @@ func ExampleFuture() {
 	// 42
 	// 42
 }
+
+// Example_dataflow shows @Task + @Depend: two stages per cell, ordered by
+// address-keyed dependence clauses instead of barriers, under a @TaskGroup
+// that joins the whole pipeline before the region's master proceeds.
+func Example_dataflow() {
+	prog := aomplib.NewProgram("dataflow")
+	cls := prog.Class("Pipe")
+
+	cells := make([]int, 4)
+	stageA := cls.KeyedProc("stageA", func(k int) { cells[k] = k + 1 })
+	stageB := cls.KeyedProc("stageB", func(k int) { cells[k] *= 10 })
+	run := cls.Proc("run", func() {
+		for k := range cells {
+			stageA(k)
+			stageB(k) // inout on &cells[k]: B(k) always runs after A(k)
+		}
+	})
+
+	cellKey := aomplib.DepFn(func(k int) any { return &cells[k] })
+	prog.MustAnnotate("Pipe.run", aomplib.Parallel{Threads: 4}, aomplib.Single{}, aomplib.TaskGroup{})
+	prog.MustAnnotate("Pipe.stageA", aomplib.Task{}, aomplib.Depend{Out: []any{cellKey}})
+	prog.MustAnnotate("Pipe.stageB", aomplib.Task{}, aomplib.Depend{InOut: []any{cellKey}})
+	prog.Use(aomplib.AnnotationAspects(prog)...)
+	prog.MustWeave()
+	run()
+	total := 0
+	for _, v := range cells {
+		total += v
+	}
+	fmt.Println(total)
+
+	// Output:
+	// 100
+}

@@ -45,6 +45,48 @@ type Task struct{}
 // AnnotationName implements weaver.Annotation.
 func (Task) AnnotationName() string { return "Task" }
 
+// Depend attaches OpenMP 4.x-style dependence clauses to a @Task or
+// @FutureTask method — @Depend(in=…, out=…, inout=…). Each clause lists
+// address keys (&x, &a[i]); spawns are ordered after previously spawned
+// conflicting tasks: an in clause waits for the last writer of the
+// address, an out/inout clause waits for the last writer and all readers
+// since. Elements of type DepFn are resolved against the keyed method's
+// key at every spawn, expressing per-call addresses (wavefront blocks,
+// grid neighbours); nil elements are skipped.
+type Depend struct {
+	In, Out, InOut []any
+}
+
+// AnnotationName implements weaver.Annotation.
+func (Depend) AnnotationName() string { return "Depend" }
+
+// TaskGroup scopes the method as a task group — @TaskGroup: the method
+// returns only when every task spawned in its dynamic extent (descendants
+// included) has completed. A scoped wait, unlike the team-wide @TaskWait.
+type TaskGroup struct{}
+
+// AnnotationName implements weaver.Annotation.
+func (TaskGroup) AnnotationName() string { return "TaskGroup" }
+
+// TaskLoop decomposes a for method into deferred tasks —
+// @TaskLoop[(grainsize=n)]: the iteration space is split into balanced
+// parts spawned as work-stealable tasks, and the call joins them before
+// returning. Execute it from a single caller (@Single/@Master); the team
+// picks the parts up at scheduling points.
+type TaskLoop struct {
+	// Grainsize is the minimum iterations per task (0: four parts per
+	// team worker).
+	Grainsize int
+	// Collapse records how many perfectly nested loops the linearized
+	// iteration space covers (the M2FOR refactoring linearizes nested
+	// loops at registration); the decomposition operates on the
+	// linearized space either way.
+	Collapse int
+}
+
+// AnnotationName implements weaver.Annotation.
+func (TaskLoop) AnnotationName() string { return "TaskLoop" }
+
 // TaskWait makes the method a join point for spawned activities — @TaskWait.
 type TaskWait struct {
 	// After joins after the body instead of before it.
@@ -210,7 +252,24 @@ func AnnotationAspects(p *weaver.Program) []weaver.Aspect {
 				}
 				out = append(out, named(asp, "@For", jp))
 			case Task:
-				out = append(out, named(newTask(weaver.Exact(jp)), "@Task", jp))
+				asp := newTask(weaver.Exact(jp))
+				kind := "@Task"
+				if d, ok := dependOf(jp); ok {
+					asp.Depend(d)
+					kind = "@Task+@Depend"
+				}
+				out = append(out, named(asp, kind, jp))
+			case Depend:
+				// Realised by the @Task/@FutureTask case; standalone it
+				// orders nothing, which is always a composition bug.
+				if !jp.HasAnnotation("Task") && !jp.HasAnnotation("FutureTask") {
+					panic(fmt.Sprintf("core: @Depend on %s without @Task or @FutureTask", jp.FQN()))
+				}
+			case TaskGroup:
+				out = append(out, named(newTaskGroup(weaver.Exact(jp)), "@TaskGroup", jp))
+			case TaskLoop:
+				asp := newTaskLoop(weaver.Exact(jp)).Grainsize(a.Grainsize).Collapse(a.Collapse)
+				out = append(out, named(asp, "@TaskLoop", jp))
 			case TaskWait:
 				asp := newTaskWait(weaver.Exact(jp))
 				if a.After {
@@ -218,7 +277,13 @@ func AnnotationAspects(p *weaver.Program) []weaver.Aspect {
 				}
 				out = append(out, named(asp, "@TaskWait", jp))
 			case FutureTask:
-				out = append(out, named(newFutureTask(weaver.Exact(jp)), "@FutureTask", jp))
+				asp := newFutureTask(weaver.Exact(jp))
+				kind := "@FutureTask"
+				if d, ok := dependOf(jp); ok {
+					asp.Depend(d)
+					kind = "@FutureTask+@Depend"
+				}
+				out = append(out, named(asp, kind, jp))
 			case Ordered:
 				out = append(out, named(newOrdered(weaver.Exact(jp)), "@Ordered", jp))
 			case Critical:
@@ -253,6 +318,16 @@ func AnnotationAspects(p *weaver.Program) []weaver.Aspect {
 		}
 	}
 	return out
+}
+
+// dependOf returns the @Depend annotation attached to jp, if any.
+func dependOf(jp *weaver.Joinpoint) (Depend, bool) {
+	for _, an := range jp.Annotations() {
+		if d, ok := an.(Depend); ok {
+			return d, true
+		}
+	}
+	return Depend{}, false
 }
 
 func named[A interface {

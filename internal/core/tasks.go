@@ -2,17 +2,85 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"aomplib/internal/rt"
+	"aomplib/internal/sched"
 	"aomplib/internal/weaver"
 )
+
+// DepFn computes a dependence address from a keyed method's key at spawn
+// time — the dynamic form of a @Depend clause element, for tasks whose
+// addresses vary per call (a wavefront's block index, a grid neighbour).
+// Returning nil skips the element (no such neighbour).
+type DepFn func(key int) any
+
+// depScratch holds the per-spawn resolution of dynamic clauses. The
+// runtime consumes the clause slices synchronously (SpawnDep copies the
+// keys into its tracker before returning), so the buffers are recycled
+// immediately after the spawn — dataflow spawning through the weaver does
+// not allocate a fresh clause set per task.
+type depScratch struct {
+	in, out, inout []any
+}
+
+var depScratchPool = sync.Pool{New: func() any { return new(depScratch) }}
+
+// release clears the key references (addresses must not be pinned past
+// the spawn) and returns the buffers to the pool.
+func (s *depScratch) release() {
+	clear(s.in[:cap(s.in)])
+	clear(s.out[:cap(s.out)])
+	clear(s.inout[:cap(s.inout)])
+	depScratchPool.Put(s)
+}
+
+func hasDepFn(ks []any) bool {
+	for _, k := range ks {
+		if _, ok := k.(DepFn); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveInto materialises one clause list against a call: DepFn elements
+// are evaluated with the call's key, everything else passes through.
+func resolveInto(dst, ks []any, c *weaver.Call) []any {
+	for _, k := range ks {
+		if f, ok := k.(DepFn); ok {
+			k = f(c.Key)
+		}
+		dst = append(dst, k)
+	}
+	return dst
+}
+
+// resolveDeps builds the runtime dependence clauses of one spawn. The
+// returned scratch is nil when the clauses are fully static (passed
+// through as-is); otherwise the caller releases it after the spawn.
+func resolveDeps(d Depend, c *weaver.Call) (rt.Deps, *depScratch) {
+	if !hasDepFn(d.In) && !hasDepFn(d.Out) && !hasDepFn(d.InOut) {
+		return rt.Deps{In: d.In, Out: d.Out, InOut: d.InOut}, nil
+	}
+	s := depScratchPool.Get().(*depScratch)
+	s.in = resolveInto(s.in[:0], d.In, c)
+	s.out = resolveInto(s.out[:0], d.Out, c)
+	s.inout = resolveInto(s.inout[:0], d.InOut, c)
+	return rt.Deps{In: s.in, Out: s.out, InOut: s.inout}, s
+}
+
+func (d Depend) empty() bool { return len(d.In) == 0 && len(d.Out) == 0 && len(d.InOut) == 0 }
 
 // TaskAspect spawns a new parallel activity to execute each matched method
 // call (@Task), usable inside or outside parallel regions. Completion is
 // joined at a @TaskWait point or, inside a region, at the region's end.
+// With dependence clauses attached (Depend), the spawn is ordered after
+// the previously spawned tasks its clauses conflict with.
 type TaskAspect struct {
 	name    string
 	matcher weaver.Matcher
+	deps    Depend
 }
 
 // TaskSpawn binds @Task to the methods selected by pc.
@@ -23,13 +91,21 @@ func newTask(m weaver.Matcher) *TaskAspect { return &TaskAspect{name: "Task", ma
 // Named renames the aspect module.
 func (a *TaskAspect) Named(name string) *TaskAspect { a.name = name; return a }
 
+// Depend attaches dependence clauses to the spawned tasks (@Depend).
+func (a *TaskAspect) Depend(d Depend) *TaskAspect { a.deps = d; return a }
+
 // AspectName implements weaver.Aspect.
 func (a *TaskAspect) AspectName() string { return a.name }
 
 // Bindings implements weaver.Aspect.
 func (a *TaskAspect) Bindings() []weaver.Binding {
+	deps := a.deps
+	name := "task"
+	if !deps.empty() {
+		name = "task+depend"
+	}
 	adv := advice{
-		name: "task",
+		name: name,
 		prec: PrecTask,
 		validate: func(jp *weaver.Joinpoint) error {
 			if jp.Kind() == weaver.ValueKind {
@@ -38,9 +114,19 @@ func (a *TaskAspect) Bindings() []weaver.Binding {
 			return nil
 		},
 		wrap: func(jp *weaver.Joinpoint, next weaver.HandlerFunc) weaver.HandlerFunc {
+			if deps.empty() {
+				return func(c *weaver.Call) {
+					tc := *c
+					rt.Spawn(func() { next(&tc) })
+				}
+			}
 			return func(c *weaver.Call) {
 				tc := *c
-				rt.Spawn(func() { next(&tc) })
+				d, scratch := resolveDeps(deps, c)
+				rt.SpawnDep(func() { next(&tc) }, d)
+				if scratch != nil {
+					scratch.release()
+				}
 			}
 		},
 	}
@@ -98,10 +184,12 @@ func (a *TaskWaitAspect) Bindings() []weaver.Binding {
 // synchronisation point (@FutureTask/@FutureResult: methods "must return
 // an object with getter/setter methods that act as synchronisation
 // points"). Applies to methods registered with FutureProc; without this
-// aspect the future resolves synchronously.
+// aspect the future resolves synchronously. With dependence clauses
+// attached (Depend), the producer is ordered after conflicting tasks.
 type FutureTaskAspect struct {
 	name    string
 	matcher weaver.Matcher
+	deps    Depend
 }
 
 // FutureTaskSpawn binds @FutureTask to the methods selected by pc.
@@ -114,13 +202,21 @@ func newFutureTask(m weaver.Matcher) *FutureTaskAspect {
 // Named renames the aspect module.
 func (a *FutureTaskAspect) Named(name string) *FutureTaskAspect { a.name = name; return a }
 
+// Depend attaches dependence clauses to the spawned producers (@Depend).
+func (a *FutureTaskAspect) Depend(d Depend) *FutureTaskAspect { a.deps = d; return a }
+
 // AspectName implements weaver.Aspect.
 func (a *FutureTaskAspect) AspectName() string { return a.name }
 
 // Bindings implements weaver.Aspect.
 func (a *FutureTaskAspect) Bindings() []weaver.Binding {
+	deps := a.deps
+	name := "futureTask"
+	if !deps.empty() {
+		name = "futureTask+depend"
+	}
 	adv := advice{
-		name: "futureTask",
+		name: name,
 		prec: PrecTask,
 		validate: func(jp *weaver.Joinpoint) error {
 			if jp.Kind() != weaver.ValueKind {
@@ -129,14 +225,157 @@ func (a *FutureTaskAspect) Bindings() []weaver.Binding {
 			return nil
 		},
 		wrap: func(jp *weaver.Joinpoint, next weaver.HandlerFunc) weaver.HandlerFunc {
+			if deps.empty() {
+				return func(c *weaver.Call) {
+					tc := *c
+					c.Ret = rt.SpawnFuture(func() any {
+						next(&tc)
+						return tc.Ret
+					})
+				}
+			}
 			return func(c *weaver.Call) {
 				tc := *c
-				c.Ret = rt.SpawnFuture(func() any {
+				d, scratch := resolveDeps(deps, c)
+				c.Ret = rt.SpawnFutureDep(func() any {
 					next(&tc)
 					return tc.Ret
+				}, d)
+				if scratch != nil {
+					scratch.release()
+				}
+			}
+		},
+	}
+	return []weaver.Binding{{Matcher: a.matcher, Advice: adv}}
+}
+
+// TaskGroupAspect scopes matched methods as task groups (@TaskGroup): the
+// method does not return until every task spawned in its dynamic extent —
+// including tasks spawned by those tasks — has completed. Unlike @TaskWait
+// it joins only the scope's own tasks, so independent groups proceed
+// without a team-wide quiescence point.
+type TaskGroupAspect struct {
+	name    string
+	matcher weaver.Matcher
+}
+
+// TaskGroupSection binds @TaskGroup to the methods selected by pc.
+func TaskGroupSection(pc string) *TaskGroupAspect { return newTaskGroup(mustPC(pc)) }
+
+func newTaskGroup(m weaver.Matcher) *TaskGroupAspect {
+	return &TaskGroupAspect{name: "TaskGroup", matcher: m}
+}
+
+// Named renames the aspect module.
+func (a *TaskGroupAspect) Named(name string) *TaskGroupAspect { a.name = name; return a }
+
+// AspectName implements weaver.Aspect.
+func (a *TaskGroupAspect) AspectName() string { return a.name }
+
+// Bindings implements weaver.Aspect.
+func (a *TaskGroupAspect) Bindings() []weaver.Binding {
+	adv := advice{
+		name: "taskgroup",
+		prec: PrecTaskGroup,
+		wrap: func(jp *weaver.Joinpoint, next weaver.HandlerFunc) weaver.HandlerFunc {
+			return func(c *weaver.Call) {
+				rt.TaskGroupScope(func() { next(c) })
+			}
+		},
+	}
+	return []weaver.Binding{{Matcher: a.matcher, Advice: adv}}
+}
+
+// TaskLoopAspect decomposes matched for methods into deferred tasks
+// (@TaskLoop): the iteration space is split into balanced parts, each part
+// is spawned as a task load-balanced by work stealing, and the call
+// returns when all parts have completed (an implicit task group). Unlike
+// @For — whose caller is the whole team, each worker taking a share — a
+// taskloop is executed by its single caller (typically under @Single or
+// @Master) and the team picks the parts up at scheduling points.
+type TaskLoopAspect struct {
+	name      string
+	matcher   weaver.Matcher
+	grainsize int
+	collapse  int
+}
+
+// TaskLoopShare binds @TaskLoop to the for methods selected by pc.
+func TaskLoopShare(pc string) *TaskLoopAspect { return newTaskLoop(mustPC(pc)) }
+
+func newTaskLoop(m weaver.Matcher) *TaskLoopAspect {
+	return &TaskLoopAspect{name: "TaskLoop", matcher: m}
+}
+
+// Named renames the aspect module.
+func (a *TaskLoopAspect) Named(name string) *TaskLoopAspect { a.name = name; return a }
+
+// Grainsize sets the minimum iterations per spawned task; 0 (the default)
+// splits the space into four parts per team worker.
+func (a *TaskLoopAspect) Grainsize(n int) *TaskLoopAspect { a.grainsize = n; return a }
+
+// Collapse declares how many perfectly nested loops the method's
+// linearized iteration space covers. The M2FOR refactoring exposes one
+// (start, end, step) triple, so collapsing happens at registration — the
+// for method receives the linearized space — and Collapse records the
+// intent for weave reports and validation; the decomposition always
+// operates on the linearized space.
+func (a *TaskLoopAspect) Collapse(n int) *TaskLoopAspect { a.collapse = n; return a }
+
+// Bindings implements weaver.Aspect.
+func (a *TaskLoopAspect) Bindings() []weaver.Binding {
+	grain, collapse := a.grainsize, a.collapse
+	adv := advice{
+		name:        "taskloop",
+		prec:        PrecTaskLoop,
+		needsWorker: true,
+		validate: func(jp *weaver.Joinpoint) error {
+			if jp.Kind() != weaver.ForKind {
+				return fmt.Errorf("@TaskLoop requires a for method, got %s %s", jp.Kind(), jp.FQN())
+			}
+			if grain < 0 {
+				return fmt.Errorf("@TaskLoop on %s: negative grainsize %d", jp.FQN(), grain)
+			}
+			if collapse < 0 {
+				return fmt.Errorf("@TaskLoop on %s: negative collapse %d", jp.FQN(), collapse)
+			}
+			return nil
+		},
+		wrap: func(jp *weaver.Joinpoint, next weaver.HandlerFunc) weaver.HandlerFunc {
+			return func(c *weaver.Call) {
+				space := sched.Space{Lo: c.Lo, Hi: c.Hi, Step: c.Step}
+				var parts []sched.Space
+				if grain > 0 {
+					parts = space.SplitGrain(grain)
+				} else {
+					teamSize := 1
+					if c.Worker != nil {
+						teamSize = c.Worker.Team.Size
+					}
+					parts = space.Split(4 * teamSize)
+				}
+				if c.Worker == nil || len(parts) <= 1 {
+					// Outside a region (or trivially small): sequential
+					// semantics, run the space inline.
+					next(c)
+					return
+				}
+				rt.TaskGroupScope(func() {
+					for _, p := range parts {
+						p := p
+						tc := *c
+						rt.Spawn(func() {
+							tc.Lo, tc.Hi, tc.Step = p.Lo, p.Hi, p.Step
+							next(&tc)
+						})
+					}
 				})
 			}
 		},
 	}
 	return []weaver.Binding{{Matcher: a.matcher, Advice: adv}}
 }
+
+// AspectName implements weaver.Aspect.
+func (a *TaskLoopAspect) AspectName() string { return a.name }

@@ -25,11 +25,13 @@ type Instance interface {
 // Version labels the three implementations compared in Figure 13.
 type Version string
 
-// Version labels.
+// Version labels. AompDep is the dataflow (@Depend) variant of an Aomp
+// version, where barrier fences are replaced by task dependence edges.
 const (
-	Seq  Version = "Seq"
-	MT   Version = "JGF-MT"
-	Aomp Version = "Aomp"
+	Seq     Version = "Seq"
+	MT      Version = "JGF-MT"
+	Aomp    Version = "Aomp"
+	AompDep Version = "Aomp-DF"
 )
 
 // Measurement is one timed, validated benchmark execution.

@@ -341,3 +341,107 @@ func (in *aompInstance) Validate() error { return in.lp.validate() }
 
 // WeaveReport exposes the woven structure for the Table 2 tooling.
 func (in *aompInstance) WeaveReport() []weaver.WovenMethod { return in.prog.Report() }
+
+type aompDepInstance struct {
+	p       Params
+	threads int
+	lp      *Linpack
+	run     func()
+	prog    *weaver.Program
+}
+
+// NewAompDep returns the dataflow (wavefront) AOmpLib version: instead of
+// fencing every factorisation step with team barriers, the master spawns
+// one pivot task per step and one update task per column block, ordered by
+// @Depend clauses. A pivot task publishes its column (out=&a[k]) after
+// taking over the block that owns it (inout=block); update tasks read the
+// pivot column (in=&a[k]) and own their block (inout=block). Step k+1's
+// pivot therefore starts as soon as the update of its own block retires,
+// while the remaining blocks of step k are still in flight — the classic
+// lookahead wavefront that barrier-based LUFact cannot express.
+func NewAompDep(p Params, threads int) harness.Instance {
+	return &aompDepInstance{p: p, threads: threads}
+}
+
+func (in *aompDepInstance) Setup() {
+	in.lp = New(in.p)
+	lp := in.lp
+	n := lp.n
+	// Column blocks: enough to keep every worker busy with lookahead work,
+	// coarse enough that a block update amortises its task bookkeeping.
+	nb := in.threads * 2
+	if nb > n {
+		nb = n
+	}
+	width := (n + nb - 1) / nb
+	nb = (n + width - 1) / width
+	lvals := make([]int, n) // pivot row per step, published by the pivot task
+	zero := make([]bool, n) // exact-zero pivots: that step eliminates nothing
+	blocks := make([]byte, nb)
+
+	in.prog = weaver.NewProgram("LinpackDF")
+	prog := in.prog
+	cls := prog.Class("Linpack")
+
+	pivot := cls.KeyedProc("pivot", func(k int) {
+		l := idamax(lp.a[k], k, n)
+		lvals[k] = l
+		lp.Interchange(k, l)
+		if lp.a[k][k] != 0 {
+			lp.Dscal(k)
+		} else {
+			zero[k] = true
+		}
+	})
+	// updateBlock(key) eliminates columns (k, n) ∩ block jb with pivot
+	// column k, where key = k*nb + jb.
+	update := cls.KeyedProc("updateBlock", func(key int) {
+		k, jb := key/nb, key%nb
+		if zero[k] {
+			return
+		}
+		lo := k + 1
+		if b := jb * width; b > lo {
+			lo = b
+		}
+		hi := (jb + 1) * width
+		if hi > n {
+			hi = n
+		}
+		lp.ReduceAllCols(lo, hi, 1, k, lvals[k])
+	})
+	spawnAll := cls.Proc("spawnAll", func() {
+		for k := 0; k < n-1; k++ {
+			pivot(k)
+			for jb := (k + 1) / width; jb < nb; jb++ {
+				update(k*nb + jb)
+			}
+		}
+	})
+	factor := cls.Proc("factor", func() { spawnAll() })
+
+	prog.MustAnnotate("Linpack.factor", core.Parallel{Threads: in.threads})
+	prog.MustAnnotate("Linpack.spawnAll", core.Master{})
+	prog.MustAnnotate("Linpack.pivot", core.Task{}, core.Depend{
+		Out:   []any{core.DepFn(func(k int) any { return &lp.a[k] })},
+		InOut: []any{core.DepFn(func(k int) any { return &blocks[k/width] })},
+	})
+	prog.MustAnnotate("Linpack.updateBlock", core.Task{}, core.Depend{
+		In:    []any{core.DepFn(func(key int) any { return &lp.a[key/nb] })},
+		InOut: []any{core.DepFn(func(key int) any { return &blocks[key%nb] })},
+	})
+	prog.Use(core.AnnotationAspects(prog)...)
+	prog.MustWeave()
+
+	in.run = func() {
+		factor()
+		lp.ipvt[n-1] = n - 1
+		lp.Dgesl()
+	}
+}
+
+func (in *aompDepInstance) Kernel()         { in.run() }
+func (in *aompDepInstance) Validate() error { return in.lp.validate() }
+
+// WeaveReport exposes the woven structure for the Table 2 tooling.
+func (in *aompDepInstance) WeaveReport() []weaver.WovenMethod { return in.prog.Report() }

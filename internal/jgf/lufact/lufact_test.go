@@ -90,3 +90,51 @@ func TestVariousThreadCounts(t *testing.T) {
 		}
 	}
 }
+
+func TestDataflowVersionAgreesBitwise(t *testing.T) {
+	// The wavefront dataflow version performs the same per-column
+	// arithmetic in the same order (blocks serialize per column, pivot
+	// tasks serialize per step), so its factors, pivots and solution must
+	// match the sequential version bit for bit.
+	for _, threads := range []int{1, 2, 4} {
+		seq := NewSeq(SizeTest).(*seqInstance)
+		seq.Setup()
+		seq.Kernel()
+		df := NewAompDep(SizeTest, threads).(*aompDepInstance)
+		df.Setup()
+		df.Kernel()
+		if err := df.Validate(); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		for i := range seq.lp.ipvt {
+			if seq.lp.ipvt[i] != df.lp.ipvt[i] {
+				t.Fatalf("threads=%d: pivot %d differs: %d vs %d", threads, i, seq.lp.ipvt[i], df.lp.ipvt[i])
+			}
+		}
+		for j := range seq.lp.a {
+			for i := range seq.lp.a[j] {
+				if seq.lp.a[j][i] != df.lp.a[j][i] {
+					t.Fatalf("threads=%d: dataflow factor differs at col %d row %d", threads, j, i)
+				}
+			}
+		}
+		for i := range seq.lp.x {
+			if seq.lp.x[i] != df.lp.x[i] {
+				t.Fatalf("threads=%d: solution differs at %d", threads, i)
+			}
+		}
+	}
+}
+
+func TestDataflowRepeatedKernelRuns(t *testing.T) {
+	// The harness re-runs Kernel after a fresh Setup; the woven dataflow
+	// program must stay valid across repetitions.
+	df := NewAompDep(SizeTest, 3).(*aompDepInstance)
+	for rep := 0; rep < 3; rep++ {
+		df.Setup()
+		df.Kernel()
+		if err := df.Validate(); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+	}
+}

@@ -191,3 +191,94 @@ func (in *aompInstance) Validate() error { return in.s.validate() }
 
 // WeaveReport exposes the woven structure for the Table 2 tooling.
 func (in *aompInstance) WeaveReport() []weaver.WovenMethod { return in.prog.Report() }
+
+type aompDepInstance struct {
+	p       Params
+	threads int
+	s       *SOR
+	run     func()
+	prog    *weaver.Program
+}
+
+// NewAompDep returns the dataflow AOmpLib version: the grid rows are
+// partitioned into blocks and each colour sweep of each block becomes a
+// task whose @Depend clauses tie it only to its neighbour blocks — in on
+// the blocks above and below (their boundary rows are read), inout on its
+// own. Blocks therefore synchronise with their neighbourhood instead of
+// the whole team: a fast block may be a full colour phase ahead of a slow
+// distant one, where the barrier version holds everyone at each phase.
+func NewAompDep(p Params, threads int) harness.Instance {
+	return &aompDepInstance{p: p, threads: threads}
+}
+
+func (in *aompDepInstance) Setup() {
+	in.s = New(in.p)
+	s := in.s
+	nb := in.threads * 2
+	if nb > s.m {
+		nb = s.m
+	}
+	width := (s.m + nb - 1) / nb
+	nb = (s.m + width - 1) / width
+	tags := make([]byte, nb)
+
+	in.prog = weaver.NewProgram("SORDF")
+	prog := in.prog
+	cls := prog.Class("SOR")
+
+	sweepBlock := func(b, color int) {
+		lo := b * width
+		hi := lo + width
+		if hi > s.m {
+			hi = s.m
+		}
+		s.RelaxColor(lo, hi, 1, color)
+	}
+	red := cls.KeyedProc("redBlock", func(b int) { sweepBlock(b, 0) })
+	black := cls.KeyedProc("blackBlock", func(b int) { sweepBlock(b, 1) })
+	spawnAll := cls.Proc("spawnAll", func() {
+		for it := 0; it < s.iters; it++ {
+			for b := 0; b < nb; b++ {
+				red(b)
+			}
+			for b := 0; b < nb; b++ {
+				black(b)
+			}
+		}
+	})
+	sweep := cls.Proc("sweep", func() { spawnAll() })
+
+	neighbourhood := core.Depend{
+		In: []any{
+			core.DepFn(func(b int) any {
+				if b == 0 {
+					return nil
+				}
+				return &tags[b-1]
+			}),
+			core.DepFn(func(b int) any {
+				if b+1 >= nb {
+					return nil
+				}
+				return &tags[b+1]
+			}),
+		},
+		InOut: []any{core.DepFn(func(b int) any { return &tags[b] })},
+	}
+	prog.MustAnnotate("SOR.sweep", core.Parallel{Threads: in.threads})
+	prog.MustAnnotate("SOR.spawnAll", core.Master{})
+	prog.MustAnnotate("SOR.redBlock", core.Task{}, neighbourhood)
+	prog.MustAnnotate("SOR.blackBlock", core.Task{}, neighbourhood)
+	prog.Use(core.AnnotationAspects(prog)...)
+	prog.MustWeave()
+	in.run = sweep
+}
+
+func (in *aompDepInstance) Kernel() {
+	in.run()
+	in.s.gTotal = in.s.Sum()
+}
+func (in *aompDepInstance) Validate() error { return in.s.validate() }
+
+// WeaveReport exposes the woven structure for the Table 2 tooling.
+func (in *aompDepInstance) WeaveReport() []weaver.WovenMethod { return in.prog.Report() }

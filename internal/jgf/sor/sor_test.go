@@ -87,3 +87,32 @@ func TestSingleThreadAndOddRows(t *testing.T) {
 }
 
 var _ = harness.Seq // keep the harness import for runAll's signature
+
+func TestDataflowVersionAgreesBitwise(t *testing.T) {
+	// Within a colour phase all point updates are independent and each
+	// point's update reads the same neighbour values regardless of block
+	// interleaving (the dependence clauses keep neighbour blocks at most
+	// one phase apart), so the dataflow grid matches sequential bit for
+	// bit.
+	for _, threads := range []int{1, 2, 4} {
+		seq := NewSeq(SizeTest).(*seqInstance)
+		seq.Setup()
+		seq.Kernel()
+		df := NewAompDep(SizeTest, threads).(*aompDepInstance)
+		df.Setup()
+		df.Kernel()
+		if err := df.Validate(); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if df.s.gTotal != seq.s.gTotal {
+			t.Fatalf("threads=%d: checksum %v differs from sequential %v", threads, df.s.gTotal, seq.s.gTotal)
+		}
+		for i := range seq.s.g {
+			for j := range seq.s.g[i] {
+				if seq.s.g[i][j] != df.s.g[i][j] {
+					t.Fatalf("threads=%d: grid differs at (%d,%d)", threads, i, j)
+				}
+			}
+		}
+	}
+}

@@ -5,6 +5,17 @@ import (
 	"sync/atomic"
 )
 
+// Task lifecycle states. A depend-free task is born taskReady; a task with
+// unsatisfied dependence edges is born taskParked and becomes taskReady
+// only when its last predecessor retires (depend.go). Parked tasks are not
+// claimable: a future's getter that reaches its producer directly backs
+// off instead of running it ahead of its predecessors.
+const (
+	taskReady   = 0
+	taskClaimed = 1
+	taskParked  = 2
+)
+
 // task is one deferred activity spawned by @Task or @FutureTask inside a
 // parallel region. It is queued on the spawning worker's deque and executed
 // by whichever team worker reaches it first — the spawner at a scheduling
@@ -12,17 +23,31 @@ import (
 // of band: a future's getter (possibly on a different, nested team) or a
 // straggler spawner can take ownership directly, and whoever later pops the
 // queued reference finds it already claimed and skips it.
+//
+// refs counts live references (deque/tracker slot, spawner, future) so
+// pooled tasks can be recycled the moment the last holder lets go; tasks
+// backing a Future are never pooled, because the future retains its task
+// pointer indefinitely.
 type task struct {
-	fn    func()
-	group *TaskGroup
-	state atomic.Int32 // 0 = queued, 1 = claimed by an executor
+	fn      func()
+	group   *TaskGroup
+	spawner *Worker  // deque that receives the task when released; nil = global scope
+	node    *depNode // dependence bookkeeping; nil for depend-free tasks
+	state   atomic.Int32
+	refs    atomic.Int32
+	pooled  bool
 }
 
-// claim takes execution ownership; exactly one caller wins.
-func (t *task) claim() bool { return t.state.CompareAndSwap(0, 1) }
+// claim takes execution ownership; exactly one caller wins. Parked tasks
+// (unsatisfied dependences) are not claimable.
+func (t *task) claim() bool { return t.state.CompareAndSwap(taskReady, taskClaimed) }
+
+// unpark makes a parked task claimable again (its last predecessor
+// retired). Reports whether this caller performed the transition.
+func (t *task) unpark() bool { return t.state.CompareAndSwap(taskParked, taskReady) }
 
 // run claims and executes the task, reporting whether this caller executed
-// it (false: someone else already claimed it).
+// it (false: someone else already claimed it, or it is parked).
 func (t *task) run() bool {
 	if !t.claim() {
 		return false
@@ -31,12 +56,33 @@ func (t *task) run() bool {
 	return true
 }
 
-// exec executes an already-claimed task, guaranteeing the group is
-// signalled even if the body panics (the panic then propagates to the
-// executing worker, where the region machinery re-raises it on the master).
+// exec executes an already-claimed task, guaranteeing — even if the body
+// panics (the panic then propagates to the executing worker, where the
+// region machinery re-raises it on the master) — that the task retires its
+// dependence node, releasing successors, and signals its group.
 func (t *task) exec() {
-	defer t.group.Done()
+	defer t.retire()
 	t.fn()
+}
+
+// retire completes the task's bookkeeping: successors of its dependence
+// node are released, then the group is signalled. Runs exactly once per
+// executed task (claim won exactly once), panic or not.
+func (t *task) retire() {
+	if n := t.node; n != nil {
+		t.node = nil
+		n.tr.retire(n)
+	}
+	t.group.Done()
+}
+
+// decRef drops one reference; the last dropper recycles pooled tasks.
+func (t *task) decRef() {
+	if t.refs.Add(-1) == 0 && t.pooled {
+		t.fn, t.group, t.spawner, t.node = nil, nil, nil, nil
+		t.state.Store(taskReady)
+		taskPool.Put(t)
+	}
 }
 
 // deque is a double-ended task queue owned by one worker. The owner pushes
@@ -128,6 +174,28 @@ func (w *Worker) findTask() *task {
 		}
 	}
 	return nil
+}
+
+// runTask executes t on w with the task's group adopted as the worker's
+// current spawn scope, so activities spawned by the task body join the
+// group the task belongs to (@TaskGroup includes descendant tasks). It
+// reports whether this caller executed the task.
+//
+// Adoption is strictly same-team: when a task of an enclosing team is
+// executed from a nested team (a future's getter helping across regions),
+// adopting its group would make sub-spawns join the enclosing team's
+// group while their tasks land on the executor's nested deque — a deque
+// the enclosing team's join can never see, hence a deadlock. Cross-team
+// executions therefore keep the executor's own scope: sub-spawns stay
+// consistent (group and deque on the executing team) and are joined by
+// the executing region's end, as in the pre-dataflow runtime.
+func (w *Worker) runTask(t *task) bool {
+	if t.spawner == nil || t.spawner.Team != w.Team {
+		return t.run()
+	}
+	prev := w.curGroup.Swap(t.group)
+	defer w.curGroup.Store(prev)
+	return t.run()
 }
 
 // nextRand is a per-worker xorshift64 used for steal-victim selection; no

@@ -11,13 +11,24 @@ import "sync"
 // they are queued on the spawning worker's deque and executed at task
 // scheduling points (TaskWait, Future.Get, TaskYield, region end) by
 // whichever team worker reaches them first, with idle workers stealing
-// from busy ones. events counts queue activity so helping waiters never
-// sleep through a freshly pushed task.
+// from busy ones. Tasks with unsatisfied dependence clauses (@Depend) park
+// in the team's dependence tracker and enter a deque only when released
+// (depend.go). events counts queue activity so helping waiters never sleep
+// through a freshly pushed task.
 type TaskGroup struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending int
-	events  uint64
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  int
+	events   uint64
+	awaiters int // Future.Get waiters parked in awaitEvent
+
+	// parent chains a @TaskGroup scope to its enclosing scope and,
+	// ultimately, the team group: every Add/Done/notify propagates up, so
+	// scope tasks keep the team group pending and idle teammates — parked
+	// in the region-end join on the team group — wake up and steal them.
+	// Without the chain a scope's tasks would be invisible to the team
+	// join and execute only on the scoping worker.
+	parent *TaskGroup
 }
 
 // NewTaskGroup returns an empty group.
@@ -27,31 +38,52 @@ func NewTaskGroup() *TaskGroup {
 	return g
 }
 
-// Add registers n new pending tasks.
+// newScopedGroup returns an empty group chained to parent.
+func newScopedGroup(parent *TaskGroup) *TaskGroup {
+	g := NewTaskGroup()
+	g.parent = parent
+	return g
+}
+
+// Add registers n new pending tasks, here and in every enclosing group.
 func (g *TaskGroup) Add(n int) {
-	g.mu.Lock()
-	g.pending += n
-	g.mu.Unlock()
+	for p := g; p != nil; p = p.parent {
+		p.mu.Lock()
+		p.pending += n
+		p.mu.Unlock()
+	}
 }
 
-// notify records queue activity and wakes waiters so they can (re)try to
-// claim queued work. Called after a task becomes visible in a deque.
+// notify records queue activity and wakes waiters — up the whole chain, so
+// team-group waiters see scope-task pushes — letting them (re)try to claim
+// queued work. Called after a task becomes visible in a deque.
 func (g *TaskGroup) notify() {
-	g.mu.Lock()
-	g.events++
-	g.cond.Broadcast()
-	g.mu.Unlock()
+	for p := g; p != nil; p = p.parent {
+		p.mu.Lock()
+		p.events++
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
 }
 
-// Done marks one task complete.
+// Done marks one task complete, here and in every enclosing group. Waiters
+// are woken when a group drains or when a Future.Get is parked on it (its
+// producer may just have resolved even though unrelated tasks are still
+// pending).
 func (g *TaskGroup) Done() {
+	for p := g; p != nil; p = p.parent {
+		p.doneOne()
+	}
+}
+
+func (g *TaskGroup) doneOne() {
 	g.mu.Lock()
 	g.pending--
 	if g.pending < 0 {
 		g.mu.Unlock()
 		panic("rt: TaskGroup counter went negative")
 	}
-	if g.pending == 0 {
+	if g.pending == 0 || g.awaiters > 0 {
 		g.events++
 		g.cond.Broadcast()
 	}
@@ -72,14 +104,17 @@ func (g *TaskGroup) Wait() {
 
 // helpWait drains tasks until none are pending, executing queued work on w
 // instead of sleeping whenever any is visible. This is both the @TaskWait
-// implementation for workers and the implicit join at region end.
+// implementation for workers and the implicit join at region end. Parked
+// dependent tasks are invisible until released; the release pushes them to
+// a deque and bumps events, so the waiter wakes and claims them.
 func (g *TaskGroup) helpWait(w *Worker) {
 	g.mu.Lock()
 	for g.pending > 0 {
 		v := g.events
 		g.mu.Unlock()
 		if t := w.findTask(); t != nil {
-			t.run()
+			w.runTask(t)
+			t.decRef()
 			g.mu.Lock()
 			continue
 		}
@@ -94,6 +129,27 @@ func (g *TaskGroup) helpWait(w *Worker) {
 	g.mu.Unlock()
 }
 
+// eventStamp snapshots the activity counter for a later awaitEvent.
+func (g *TaskGroup) eventStamp() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.events
+}
+
+// awaitEvent blocks until queue activity after stamp v, the group drains,
+// or stop reports true. The awaiters count makes every Done broadcast
+// while a getter is parked here, so a producer resolving amid unrelated
+// pending tasks cannot be slept through.
+func (g *TaskGroup) awaitEvent(v uint64, stop func() bool) {
+	g.mu.Lock()
+	g.awaiters++
+	for g.events == v && g.pending > 0 && !stop() {
+		g.cond.Wait()
+	}
+	g.awaiters--
+	g.mu.Unlock()
+}
+
 // Pending reports the number of outstanding tasks (diagnostics/tests).
 func (g *TaskGroup) Pending() int {
 	g.mu.Lock()
@@ -105,11 +161,38 @@ func (g *TaskGroup) Pending() int {
 // construct can also be used outside the parallel region").
 var globalTasks = NewTaskGroup()
 
-// TaskScope returns the task group governing the caller: the team group
-// inside a region, the process-wide group outside.
+// taskPool recycles task objects so steady-state spawning inside regions
+// allocates nothing (the dependence nodes of @Depend are recycled on the
+// tracker's own free lists for the same reason). Tasks backing a Future
+// are excluded: the future retains its task pointer indefinitely.
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
+// newTask draws a pooled task carrying two references: the queue (deque or
+// dependence tracker) slot and the spawner's temporary hold.
+func newTask(fn func(), g *TaskGroup, w *Worker) *task {
+	t := taskPool.Get().(*task)
+	t.fn, t.group, t.spawner = fn, g, w
+	t.pooled = true
+	t.refs.Store(2)
+	t.state.Store(taskReady)
+	return t
+}
+
+// spawnGroup returns the group new tasks of this worker join: the
+// innermost @TaskGroup scope when one is active, the team group otherwise.
+func (w *Worker) spawnGroup() *TaskGroup {
+	if g := w.curGroup.Load(); g != nil {
+		return g
+	}
+	return w.Team.Tasks()
+}
+
+// TaskScope returns the task group governing the caller: the innermost
+// @TaskGroup scope or team group inside a region, the process-wide group
+// outside.
 func TaskScope() *TaskGroup {
 	if w := Current(); w != nil {
-		return w.Team.Tasks()
+		return w.spawnGroup()
 	}
 	return globalTasks
 }
@@ -119,6 +202,10 @@ func TaskScope() *TaskGroup {
 // so the join cannot starve); outside it simply blocks on the global group.
 func TaskWait() {
 	if w := Current(); w != nil {
+		if g := w.curGroup.Load(); g != nil {
+			g.helpWait(w)
+			return
+		}
 		if g := w.Team.tasksIfAny(); g != nil {
 			g.helpWait(w)
 		}
@@ -142,9 +229,10 @@ func TaskYield(n int) int {
 		if t == nil {
 			break
 		}
-		if t.run() {
+		if w.runTask(t) {
 			ran++
 		}
+		t.decRef()
 	}
 	return ran
 }
@@ -160,17 +248,23 @@ func TaskYield(n int) int {
 // the global scope.
 func Spawn(body func()) {
 	if w := Current(); w != nil && !w.Team.completed.Load() {
-		g := w.Team.Tasks()
+		g := w.spawnGroup()
 		g.Add(1)
-		t := &task{fn: body, group: g}
+		t := newTask(body, g, w)
 		w.deque.push(t)
 		g.notify()
 		// The team may have completed (and drained) between the check
 		// above and the push; reclaim the task and run it asynchronously
-		// so it cannot be stranded on a dead team's deque.
+		// so it cannot be stranded on a dead team's deque. The spawner's
+		// reference transfers to the rescue goroutine.
 		if w.Team.completed.Load() && t.claim() {
-			go t.exec()
+			go func() {
+				t.exec()
+				t.decRef()
+			}()
+			return
 		}
+		t.decRef()
 		return
 	}
 	globalTasks.Add(1)
@@ -214,9 +308,10 @@ func SpawnFuture(fn func() any) *Future {
 		close(f.done)
 	}
 	if w := Current(); w != nil && !w.Team.completed.Load() {
-		g := w.Team.Tasks()
+		g := w.spawnGroup()
 		g.Add(1)
-		t := &task{fn: resolve, group: g}
+		t := &task{fn: resolve, group: g, spawner: w} // retained by f: never pooled
+		t.refs.Store(2)
 		f.task = t
 		w.deque.push(t)
 		g.notify()
@@ -236,26 +331,78 @@ func SpawnFuture(fn func() any) *Future {
 // Get blocks until the future resolves and returns its value
 // (@FutureResult: getters "act as synchronisation points"). A worker
 // calling Get helps execute queued team tasks while the value is not yet
-// available; if the producing task is still queued — possibly on an
-// enclosing team, unreachable from a nested region's deques — Get claims
-// and executes it directly, so demanding a future can never deadlock on
-// its own deferred producer.
+// available; if the producing task is queued and claimable — possibly on
+// an enclosing team, unreachable from a nested region's deques — Get
+// claims and executes it directly. A producer parked behind unsatisfied
+// dependence clauses is not claimable; the getter then drains the
+// producer's own team (running, transitively, the predecessors) and, when
+// nothing is visible anywhere, parks until queue activity. Demanding a
+// future therefore never deadlocks on its own deferred producer.
 func (f *Future) Get() any {
-	if !f.Resolved() {
-		if w := Current(); w != nil {
+	if f.Resolved() {
+		return f.val
+	}
+	w := Current()
+	for {
+		if w != nil {
 			f.help(w)
 		}
-		if f.task != nil && f.task.run() {
-			// Executed here: f.done is closed now.
+		if f.Resolved() {
+			break
 		}
-		<-f.done
+		t := f.task
+		if t == nil {
+			<-f.done
+			break
+		}
+		v := t.group.eventStamp()
+		var ran bool
+		if w != nil {
+			ran = w.runTask(t)
+		} else {
+			ran = t.run()
+		}
+		if ran || f.Resolved() {
+			break
+		}
+		if w == nil {
+			// Not a team worker: claiming the producer itself (above) is
+			// the only execution this goroutine may take on — running
+			// arbitrary team tasks here would strip them of their team
+			// context, letting their sub-spawns escape the region-end
+			// join. The team's own workers make progress; just block.
+			<-f.done
+			break
+		}
+		// Help the producer's team directly: its predecessors live on that
+		// team's deques, which w.findTask cannot see from a nested team.
+		if s := t.spawner; s != nil {
+			if st := stealAnyTask(s.Team); st != nil {
+				w.runTask(st)
+				st.decRef()
+				continue
+			}
+		}
+		// Producer parked or in flight elsewhere and no queued work is
+		// visible: wait for queue activity or resolution, then retry.
+		t.group.awaitEvent(v, f.Resolved)
 	}
 	return f.val
 }
 
+// stealAnyTask pops a queued task from any deque of the given team, or nil.
+func stealAnyTask(team *Team) *task {
+	for _, v := range team.workers {
+		if t := v.deque.stealTop(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
 // help runs queued tasks on w until the future resolves or no queued work
-// is visible (in which case the task is in flight on another worker and
-// blocking on the channel is safe).
+// is visible (in which case the producer is in flight, parked behind
+// dependences, or on another team — Get handles those cases).
 func (f *Future) help(w *Worker) {
 	for {
 		select {
@@ -267,7 +414,8 @@ func (f *Future) help(w *Worker) {
 		if t == nil {
 			return
 		}
-		t.run()
+		w.runTask(t)
+		t.decRef()
 	}
 }
 

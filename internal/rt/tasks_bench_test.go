@@ -1,0 +1,96 @@
+package rt
+
+import "testing"
+
+// The Task* benchmarks are CI allocation gates: the steady-state task
+// spawn path — plain and dependence-clause — must stay at 0 allocs/op
+// (task objects, dependence nodes and per-address state are all pooled).
+// Bodies and clause slices are hoisted so the measurement isolates the
+// runtime, not the caller's closure captures.
+
+func BenchmarkTaskSpawnWait(b *testing.B) {
+	b.ReportAllocs()
+	Region(2, func(w *Worker) {
+		if w.ID != 0 {
+			return
+		}
+		var x int
+		body := func() { x++ }
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Spawn(body)
+			if i&63 == 63 {
+				TaskWait()
+			}
+		}
+		TaskWait()
+		b.StopTimer()
+		_ = x
+	})
+}
+
+func BenchmarkTaskDependChain(b *testing.B) {
+	b.ReportAllocs()
+	Region(2, func(w *Worker) {
+		if w.ID != 0 {
+			return
+		}
+		var x int
+		body := func() { x++ }
+		d := Deps{InOut: []any{&x}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			SpawnDep(body, d)
+			if i&63 == 63 {
+				TaskWait()
+			}
+		}
+		TaskWait()
+		b.StopTimer()
+		_ = x
+	})
+}
+
+func BenchmarkTaskDependFanIn(b *testing.B) {
+	b.ReportAllocs()
+	Region(2, func(w *Worker) {
+		if w.ID != 0 {
+			return
+		}
+		var x, y int
+		read := func() { _ = x }
+		write := func() { x++; y++ }
+		dr := Deps{In: []any{&x}, Out: []any{&y}}
+		dw := Deps{InOut: []any{&x}, In: []any{&y}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			SpawnDep(read, dr)
+			SpawnDep(read, dr)
+			SpawnDep(write, dw)
+			if i&31 == 31 {
+				TaskWait()
+			}
+		}
+		TaskWait()
+		b.StopTimer()
+	})
+}
+
+func BenchmarkTaskYieldSpawn(b *testing.B) {
+	b.ReportAllocs()
+	Region(2, func(w *Worker) {
+		if w.ID != 0 {
+			return
+		}
+		var x int
+		body := func() { x++ }
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Spawn(body)
+			TaskYield(1)
+		}
+		TaskWait()
+		b.StopTimer()
+		_ = x
+	})
+}

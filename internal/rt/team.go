@@ -99,7 +99,8 @@ type Team struct {
 	completed atomic.Bool
 
 	mu         sync.Mutex
-	tasks      *TaskGroup // lazily created on first task spawn/wait
+	tasks      *TaskGroup  // lazily created on first task spawn/wait
+	deps       *depTracker // lazily created on first @Depend spawn
 	constructs map[any]map[int64]*instanceSlot
 }
 
@@ -121,6 +122,12 @@ type Worker struct {
 	activeFor  []*ForContext // stack: nested work-sharing contexts
 	tls        map[any]any   // thread-local values keyed by construct identity
 	fcFree     []*ForContext // recycled work-sharing contexts
+
+	// curGroup is the innermost @TaskGroup scope active on this worker;
+	// spawned tasks join it instead of the team group, and executing a
+	// task adopts its group so descendants join the same scope. Atomic
+	// because goroutines with inherited worker context may share w.
+	curGroup atomic.Pointer[TaskGroup]
 }
 
 // Barrier returns the team barrier.
@@ -144,6 +151,18 @@ func (t *Team) tasksIfAny() *TaskGroup {
 	g := t.tasks
 	t.mu.Unlock()
 	return g
+}
+
+// depTracker returns the team's dependence tracker (@Depend bookkeeping),
+// creating it on first use so dependence-free regions pay nothing.
+func (t *Team) depTracker() *depTracker {
+	t.mu.Lock()
+	if t.deps == nil {
+		t.deps = newDepTracker()
+	}
+	d := t.deps
+	t.mu.Unlock()
+	return d
 }
 
 // ParentTeam returns the team enclosing this one, or nil at the outermost

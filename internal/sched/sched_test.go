@@ -340,3 +340,53 @@ func TestSplitEdgeCases(t *testing.T) {
 		t.Fatalf("Split(0) = %v, want whole space", got)
 	}
 }
+
+func TestSplitGrainCoverageAndBounds(t *testing.T) {
+	f := func(lo int8, count uint8, step uint8, grain uint8) bool {
+		s := Space{Lo: int(lo), Hi: int(lo) + int(count)*int(step%7+1), Step: int(step%7 + 1)}
+		g := int(grain%9) + 1
+		parts := s.SplitGrain(g)
+		// Exactly-once coverage.
+		seen := map[int]int{}
+		for _, p := range parts {
+			for _, v := range p.Values() {
+				seen[v]++
+			}
+		}
+		for _, v := range s.Values() {
+			if seen[v] != 1 {
+				return false
+			}
+		}
+		if len(seen) != s.Count() {
+			return false
+		}
+		// Grainsize bounds: every part holds in [grain, 2*grain), except a
+		// single part covering a space smaller than grain.
+		for _, p := range parts {
+			n := p.Count()
+			if len(parts) == 1 && s.Count() < g {
+				continue
+			}
+			if n < g || n >= 2*g {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitGrainEdgeCases(t *testing.T) {
+	if got := (Space{0, 0, 1}).SplitGrain(4); got != nil {
+		t.Fatalf("empty space = %v", got)
+	}
+	if got := (Space{0, 3, 1}).SplitGrain(10); len(got) != 1 || got[0].Count() != 3 {
+		t.Fatalf("undersized space = %v, want one whole part", got)
+	}
+	if got := (Space{0, 10, 1}).SplitGrain(0); len(got) != 10 {
+		t.Fatalf("grain 0 should clamp to 1, got %v", got)
+	}
+}

@@ -98,6 +98,22 @@ func (s Space) Split(n int) []Space {
 	return out
 }
 
+// SplitGrain partitions the space into balanced sub-spaces of at least
+// grain iterations each (the last may round up: parts hold between grain
+// and 2·grain-1 iterations, OpenMP taskloop grainsize semantics). A space
+// smaller than grain yields a single part. It is the @TaskLoop(grainsize)
+// decomposition primitive.
+func (s Space) SplitGrain(grain int) []Space {
+	if grain < 1 {
+		grain = 1
+	}
+	n := s.Count() / grain
+	if n < 1 {
+		n = 1
+	}
+	return s.Split(n)
+}
+
 // Values expands the space into the explicit list of loop values.
 // Intended for tests and small spaces only.
 func (s Space) Values() []int {
