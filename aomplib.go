@@ -117,14 +117,32 @@ var MustParsePointcut = pointcut.MustParse
 type Schedule = sched.Kind
 
 // Work-sharing schedules (paper Table 1: staticBlock, staticCyclic,
-// dynamic; guided and case-specific are the documented extensions).
+// dynamic; guided, auto, runtime and case-specific are the documented
+// extensions). Auto picks StaticBlock or Guided per encounter from the
+// trip count and team size; Runtime resolves to the process-wide default
+// set with SetDefaultSchedule (the OMP_SCHEDULE analogue).
 const (
 	StaticBlock  = sched.StaticBlock
 	StaticCyclic = sched.StaticCyclic
 	Dynamic      = sched.Dynamic
 	Guided       = sched.Guided
 	CaseSpecific = sched.Custom
+	Auto         = sched.Auto
+	Runtime      = sched.Runtime
 )
+
+// ParseSchedule resolves a schedule name ("staticBlock", "dynamic",
+// "auto", ...) to its Schedule, erroring with the valid list on unknown
+// names — the parser behind benchmark flags like jgfbench -schedule.
+var ParseSchedule = sched.ParseKind
+
+// SetDefaultSchedule sets the process-wide schedule that @For constructs
+// declared with the Runtime kind resolve to. It returns the previous
+// default; Runtime and CaseSpecific are rejected.
+var SetDefaultSchedule = core.SetDefaultSchedule
+
+// DefaultSchedule returns the process-wide default schedule.
+var DefaultSchedule = core.DefaultSchedule
 
 // ScheduleFunc is the case-specific schedule extension point.
 type ScheduleFunc = sched.ScheduleFunc
@@ -319,3 +337,27 @@ var SetDefaultThreads = core.SetDefaultThreads
 
 // DefaultThreads returns the effective default team size.
 var DefaultThreads = core.DefaultThreads
+
+// SetHotTeams enables or disables hot teams (enabled by default): parallel
+// regions lease long-lived worker teams — goroutines, deques, barrier and
+// dependence tracker included — from a process-wide pool and return them
+// afterwards, so region-per-iteration programs do not pay team
+// construction per entry. Disabling drains the pool and restores
+// spawn-and-discard teams. It returns the previous setting.
+var SetHotTeams = core.SetHotTeams
+
+// HotTeamsEnabled reports whether parallel regions reuse pooled teams.
+var HotTeamsEnabled = core.HotTeamsEnabled
+
+// SetPoolSize bounds how many workers the hot-team pool may keep parked
+// between regions (0 restores the default of four default-sized teams).
+// It returns the previous explicit bound.
+var SetPoolSize = core.SetPoolSize
+
+// PoolStats snapshots the hot-team pool: cumulative lease/hit/miss/
+// recycle/retire/evict counters plus the teams and workers parked right
+// now — the observability hook for tuning SetPoolSize.
+var PoolStats = core.PoolStats
+
+// TeamPoolStats is the snapshot type returned by PoolStats.
+type TeamPoolStats = rt.PoolStats

@@ -213,8 +213,26 @@ func BenchmarkOverhead_WorkerLookupInRegion(b *testing.B) {
 	})
 }
 
-// BenchmarkOverhead_RegionEntry measures team spawn+join (paper Fig. 9).
+// BenchmarkOverhead_RegionEntry measures region entry+join (paper Fig. 9)
+// on the warm path: hot teams (the default) lease a pooled team, so the
+// steady state must stay at 0 allocs/op — a CI gate.
 func BenchmarkOverhead_RegionEntry(b *testing.B) {
+	p := aomplib.NewProgram("bench")
+	f := p.Class("A").Proc("m", func() {})
+	p.Use(aomplib.ParallelRegion("call(* A.m(..))").Threads(threads()))
+	p.MustWeave()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f()
+	}
+}
+
+// BenchmarkOverhead_RegionEntryCold is the same entry with hot teams off:
+// team, workers and goroutines are built and discarded per entry — the
+// pre-pool behaviour the warm path is measured against.
+func BenchmarkOverhead_RegionEntryCold(b *testing.B) {
+	prev := aomplib.SetHotTeams(false)
+	defer aomplib.SetHotTeams(prev)
 	p := aomplib.NewProgram("bench")
 	f := p.Class("A").Proc("m", func() {})
 	p.Use(aomplib.ParallelRegion("call(* A.m(..))").Threads(threads()))

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"aomplib"
 	"aomplib/internal/jgf/crypt"
 	"aomplib/internal/jgf/harness"
 	"aomplib/internal/jgf/lufact"
@@ -149,7 +150,10 @@ type jsonResult struct {
 }
 
 // jsonReport is the -json output: enough metadata to compare runs across
-// commits (the CI perf trajectory) plus every measurement.
+// commits (the CI perf trajectory) plus every measurement. HotTeams and
+// Schedule record the runtime configuration of the run — numbers measured
+// with pooled teams or a non-default schedule must not be compared
+// against runs without them.
 type jsonReport struct {
 	Schema     int          `json:"schema"`
 	Size       string       `json:"size"`
@@ -157,6 +161,8 @@ type jsonReport struct {
 	Reps       int          `json:"reps"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	GoVersion  string       `json:"go_version"`
+	HotTeams   bool         `json:"hot_teams"`
+	Schedule   string       `json:"schedule"`
 	Timestamp  string       `json:"timestamp"`
 	Results    []jsonResult `json:"results"`
 }
@@ -168,7 +174,24 @@ func main() {
 	reps := flag.Int("reps", 3, "kernel repetitions (fastest kept)")
 	only := flag.String("only", "", "comma-separated benchmark filter (e.g. crypt,moldyn)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
+	schedule := flag.String("schedule", "",
+		"process-wide default schedule resolved by @For(schedule=runtime) constructs\n"+
+			"(staticBlock, staticCyclic, dynamic, guided, auto)")
+	hotTeams := flag.Bool("hotteams", true, "reuse pooled worker teams across region entries")
 	flag.Parse()
+
+	if *schedule != "" {
+		k, err := aomplib.ParseSchedule(*schedule)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jgfbench: -schedule: %v\n", err)
+			os.Exit(2)
+		}
+		if _, err := aomplib.SetDefaultSchedule(k); err != nil {
+			fmt.Fprintf(os.Stderr, "jgfbench: -schedule=%s: %v\n", k, err)
+			os.Exit(2)
+		}
+	}
+	aomplib.SetHotTeams(*hotTeams)
 
 	threads := parseThreads(*threadsFlag)
 	benches := suite(*size)
@@ -203,8 +226,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("\nFigure 13 — speed-up over sequential (size %s, GOMAXPROCS=%d)\n\n",
-		*size, runtime.GOMAXPROCS(0))
+	fmt.Printf("\nFigure 13 — speed-up over sequential (size %s, GOMAXPROCS=%d, hotteams=%v)\n\n",
+		*size, runtime.GOMAXPROCS(0), aomplib.HotTeamsEnabled())
 	table.Render(os.Stdout)
 
 	fmt.Printf("\nAomp vs JGF-MT relative time difference (paper: < 1%%):\n")
@@ -242,6 +265,8 @@ func writeJSON(path, size string, threads []int, reps int,
 		Reps:       reps,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
+		HotTeams:   aomplib.HotTeamsEnabled(),
+		Schedule:   aomplib.DefaultSchedule().String(),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, m := range all {

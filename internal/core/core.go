@@ -29,10 +29,9 @@
 package core
 
 import (
-	"sync/atomic"
-
 	"aomplib/internal/pointcut"
 	"aomplib/internal/rt"
+	"aomplib/internal/sched"
 	"aomplib/internal/weaver"
 )
 
@@ -87,24 +86,44 @@ func NestedEnabled() bool { return rt.NestedEnabled() }
 // a no-op.
 func TaskYield(n int) int { return rt.TaskYield(n) }
 
-// defaultThreads overrides the team size used by regions that do not set
-// one; 0 means GOMAXPROCS. Benchmark harnesses use it to sweep thread
-// counts without touching aspect definitions.
-var defaultThreads atomic.Int32
-
 // SetDefaultThreads sets the process-wide default team size (0 restores
-// the GOMAXPROCS default). It returns the previous value.
-func SetDefaultThreads(n int) int {
-	return int(defaultThreads.Swap(int32(n)))
-}
+// the live GOMAXPROCS default), atomically and for every layer — regions
+// entered through the runtime directly and through aspects read the same
+// default. It returns the previously stored override (0 when the default
+// was GOMAXPROCS-tracking), so save/restore round-trips exactly.
+// Benchmark harnesses use it to sweep thread counts without touching
+// aspect definitions.
+func SetDefaultThreads(n int) int { return rt.SetDefaultThreads(n) }
 
 // DefaultThreads returns the effective default team size.
-func DefaultThreads() int {
-	if n := defaultThreads.Load(); n > 0 {
-		return int(n)
-	}
-	return rt.DefaultThreads()
-}
+func DefaultThreads() int { return rt.DefaultThreads() }
+
+// SetHotTeams enables or disables hot-team reuse — parallel regions
+// leasing long-lived worker teams from a process-wide pool instead of
+// spawning goroutines per entry (enabled by default). Disabling drains
+// the pool and restores spawn-and-discard teams. It returns the previous
+// setting.
+func SetHotTeams(on bool) bool { return rt.SetHotTeams(on) }
+
+// HotTeamsEnabled reports whether parallel regions reuse pooled teams.
+func HotTeamsEnabled() bool { return rt.HotTeamsEnabled() }
+
+// SetPoolSize bounds how many workers the hot-team pool may keep parked
+// (0 restores the default of four default-sized teams). It returns the
+// previous explicit bound.
+func SetPoolSize(maxIdleWorkers int) int { return rt.SetPoolSize(maxIdleWorkers) }
+
+// PoolStats snapshots the hot-team pool: lease/hit/miss/retire counters
+// and the currently parked teams and workers.
+func PoolStats() rt.PoolStats { return rt.ReadPoolStats() }
+
+// SetDefaultSchedule sets the process-wide schedule that @For constructs
+// declared with the Runtime kind resolve to (the OMP_SCHEDULE analogue).
+// It returns the previous default; Runtime and Custom are rejected.
+func SetDefaultSchedule(k sched.Kind) (sched.Kind, error) { return sched.SetDefault(k) }
+
+// DefaultSchedule returns the process-wide default schedule.
+func DefaultSchedule() sched.Kind { return sched.Default() }
 
 // mustPC parses a pointcut expression, panicking on malformed aspect
 // definitions (they are compile-time constants of the using program).

@@ -58,11 +58,14 @@ func (a *ForAspect) NoWait() *ForAspect { f := false; a.wait = &f; return a }
 // Wait forces an end-of-construct barrier for static schedules as well.
 func (a *ForAspect) Wait() *ForAspect { tr := true; a.wait = &tr; return a }
 
-func (a *ForAspect) implicitBarrier() bool {
+// implicitBarrier decides the end-of-construct barrier for the schedule an
+// encounter resolved to (Auto and Runtime resolve per encounter, so the
+// decision cannot be precomputed from the declared kind).
+func (a *ForAspect) implicitBarrier(k sched.Kind) bool {
 	if a.wait != nil {
 		return *a.wait
 	}
-	return a.kind == sched.Dynamic || a.kind == sched.Guided
+	return k == sched.Dynamic || k == sched.Guided
 }
 
 // AspectName implements weaver.Aspect.
@@ -91,7 +94,14 @@ func (a *ForAspect) Bindings() []weaver.Binding {
 					return
 				}
 				sp := sched.Space{Lo: c.Lo, Hi: c.Hi, Step: c.Step}
+				// Auto picks from the loop shape, Runtime from the process
+				// default. Resolution happens once per encounter inside the
+				// team-shared state (the first arriving worker decides), so
+				// a concurrent SetDefaultSchedule can never split one
+				// encounter across two schedules and desynchronise the
+				// implicit barrier; every worker switches on fc.Kind.
 				fc := rt.BeginFor(w, a, sp, a.kind, a.chunk)
+				k := fc.Kind
 				// One pooled sub-call is reused for every sub-range this
 				// worker executes, so dynamic/guided chunking does not
 				// allocate per chunk.
@@ -104,7 +114,7 @@ func (a *ForAspect) Bindings() []weaver.Binding {
 					sc.Lo, sc.Hi, sc.Step = sub.Lo, sub.Hi, sub.Step
 					next(sc)
 				}
-				switch a.kind {
+				switch k {
 				case sched.StaticBlock:
 					runSub(sched.Block(sp, w.Team.Size, w.ID))
 				case sched.StaticCyclic:
@@ -124,7 +134,7 @@ func (a *ForAspect) Bindings() []weaver.Binding {
 				}
 				weaver.PutCall(sc)
 				fc.EndFor()
-				if a.implicitBarrier() {
+				if a.implicitBarrier(k) {
 					w.Team.Barrier().Wait()
 				}
 			}

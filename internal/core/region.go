@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"aomplib/internal/rt"
 	"aomplib/internal/weaver"
 )
@@ -49,6 +51,42 @@ func (a *ParallelRegionAspect) ThreadsFunc(fn func() int) *ParallelRegionAspect 
 // AspectName implements weaver.Aspect.
 func (a *ParallelRegionAspect) AspectName() string { return a.name }
 
+// regionEntry is the per-entry state threaded through rt.RegionArg: the
+// snapshot of the entering call that every worker copies, the rest of the
+// advice chain, and the call whose result the master fills in. Entries
+// are recycled through a pool so a warm region entry allocates nothing —
+// a per-entry closure would escape to the heap on every call, because the
+// team stores the body for its workers.
+type regionEntry struct {
+	template weaver.Call
+	next     weaver.HandlerFunc
+	out      *weaver.Call
+}
+
+var regionEntryPool = sync.Pool{New: func() any { return new(regionEntry) }}
+
+func putRegionEntry(e *regionEntry) {
+	*e = regionEntry{}
+	regionEntryPool.Put(e)
+}
+
+// regionBody runs one worker's share of a region entry. Each worker runs
+// the chain on its own (pooled) copy of the Call so range rewrites and
+// results stay private (Fig. 9: every thread, master included,
+// "proceeds"); the template is snapshotted before the team starts, so the
+// master's result write cannot race with worker copies.
+func regionBody(w *rt.Worker, arg any) {
+	e := arg.(*regionEntry)
+	wc := weaver.GetCall()
+	*wc = e.template
+	wc.Worker = w
+	e.next(wc)
+	if w.ID == 0 {
+		e.out.Ret = wc.Ret // master's result is the region's result
+	}
+	weaver.PutCall(wc)
+}
+
 // Bindings implements weaver.Aspect.
 func (a *ParallelRegionAspect) Bindings() []weaver.Binding {
 	adv := advice{
@@ -63,22 +101,12 @@ func (a *ParallelRegionAspect) Bindings() []weaver.Binding {
 				if n <= 0 {
 					n = DefaultThreads()
 				}
-				// Each worker runs the body on its own (pooled) copy of the
-				// Call so range rewrites and results stay private (Fig. 9:
-				// every thread, master included, "proceeds"). The copy
-				// source is snapshotted before the team starts so the
-				// master's result write cannot race with worker copies.
-				template := *c
-				rt.Region(n, func(w *rt.Worker) {
-					wc := weaver.GetCall()
-					*wc = template
-					wc.Worker = w
-					next(wc)
-					if w.ID == 0 {
-						c.Ret = wc.Ret // master's result is the region's result
-					}
-					weaver.PutCall(wc)
-				})
+				e := regionEntryPool.Get().(*regionEntry)
+				e.template = *c
+				e.next = next
+				e.out = c
+				defer putRegionEntry(e) // also on the region's re-raised panic
+				rt.RegionArg(n, regionBody, e)
 			}
 		},
 	}

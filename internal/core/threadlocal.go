@@ -28,8 +28,19 @@ type ThreadLocalAspect struct {
 	fromGlobal func() any
 
 	mu      sync.Mutex
-	perTeam map[*rt.Team]map[int]any
+	perTeam map[teamLease]map[int]any
 }
+
+// teamLease identifies one region entry served by a (possibly hot,
+// reused) team: recording values under the lease epoch guarantees that a
+// drain can never pick up copies left behind by an earlier region entry
+// of the same pooled team.
+type teamLease struct {
+	team  *rt.Team
+	epoch uint64
+}
+
+func leaseOf(t *rt.Team) teamLease { return teamLease{team: t, epoch: t.Epoch()} }
 
 // NewThreadLocal binds @ThreadLocalField with the given id to the accessor
 // methods selected by pc.
@@ -40,7 +51,7 @@ func newThreadLocal(m weaver.Matcher, id string) *ThreadLocalAspect {
 		name:    "ThreadLocal(" + id + ")",
 		id:      id,
 		matcher: m,
-		perTeam: make(map[*rt.Team]map[int]any),
+		perTeam: make(map[teamLease]map[int]any),
 	}
 }
 
@@ -73,22 +84,25 @@ func (a *ThreadLocalAspect) newValue() any {
 }
 
 func (a *ThreadLocalAspect) record(team *rt.Team, id int, v any) {
+	key := leaseOf(team)
 	a.mu.Lock()
-	byID := a.perTeam[team]
+	byID := a.perTeam[key]
 	if byID == nil {
 		byID = make(map[int]any)
-		a.perTeam[team] = byID
+		a.perTeam[key] = byID
 	}
 	byID[id] = v
 	a.mu.Unlock()
 }
 
-// Drain removes and returns all per-worker values created for team, in
-// worker-id order. It is the collection step of a reduction.
+// Drain removes and returns all per-worker values created for the current
+// region entry of team, in worker-id order. It is the collection step of
+// a reduction.
 func (a *ThreadLocalAspect) Drain(team *rt.Team) []any {
+	key := leaseOf(team)
 	a.mu.Lock()
-	byID := a.perTeam[team]
-	delete(a.perTeam, team)
+	byID := a.perTeam[key]
+	delete(a.perTeam, key)
 	a.mu.Unlock()
 	out := make([]any, 0, len(byID))
 	for id := 0; id < team.Size; id++ {
@@ -99,11 +113,12 @@ func (a *ThreadLocalAspect) Drain(team *rt.Team) []any {
 	return out
 }
 
-// Values returns a snapshot of the per-worker values for team without
-// draining them (worker-id order).
+// Values returns a snapshot of the per-worker values for the current
+// region entry of team without draining them (worker-id order).
 func (a *ThreadLocalAspect) Values(team *rt.Team) []any {
+	key := leaseOf(team)
 	a.mu.Lock()
-	byID := a.perTeam[team]
+	byID := a.perTeam[key]
 	out := make([]any, 0, len(byID))
 	for id := 0; id < team.Size; id++ {
 		if v, ok := byID[id]; ok {

@@ -104,6 +104,38 @@ func (s *Store) Restore(t Token) {
 	runtime_setProfLabel(unsafe.Pointer(t.prev))
 }
 
+// Slot is a preallocated, reusable binding of one (store, value) pair.
+// PushSlot/Restore pairs bind and unbind it at pointer cost — no node
+// allocation — which is what lets a hot team's workers re-establish their
+// context on every lease of the team with zero allocations.
+//
+// A Slot may be live on at most one goroutine's chain at a time; callers
+// (the team lease protocol in internal/rt) must guarantee exclusivity.
+// Goroutines that inherited a chain through the slot at spawn keep
+// traversing safely after the slot is re-pushed elsewhere: the store and
+// value are immutable after NewSlot and the chain link is atomic, so they
+// merely observe the slot's current link.
+type Slot struct{ n node }
+
+// NewSlot returns a reusable binding of v for this store.
+func (s *Store) NewSlot(v any) *Slot {
+	sl := &Slot{}
+	sl.n.magic = nodeMagic
+	sl.n.store = s
+	sl.n.val = v
+	return sl
+}
+
+// PushSlot binds sl on the current goroutine, stacking on top of whatever
+// is bound, and returns the Token that Restore rewinds. Unlike PushToken
+// it allocates nothing: the node lives in the slot.
+func (s *Store) PushSlot(sl *Slot) Token {
+	prev := (*node)(runtime_getProfLabel())
+	sl.n.prev.Store(prev)
+	runtime_setProfLabel(unsafe.Pointer(&sl.n))
+	return Token{prev: prev}
+}
+
 // Pop removes the most recent association this goroutine holds for s,
 // restoring the one below it (which may belong to another store, or be a
 // foreign profiler label). It panics if no association is reachable, which

@@ -50,6 +50,19 @@ func (s *Store) PushToken(v any) Token {
 // Restore undoes the matching PushToken.
 func (s *Store) Restore(Token) { s.Pop() }
 
+// Slot is the portable counterpart of the label backend's reusable
+// binding. The map store has no per-binding node to recycle, so the slot
+// simply remembers the value and PushSlot pushes it; the map operations
+// may allocate, which the portable backend's performance contract allows.
+type Slot struct{ v any }
+
+// NewSlot returns a reusable binding of v for this store.
+func (s *Store) NewSlot(v any) *Slot { return &Slot{v: v} }
+
+// PushSlot binds the slot's value on the current goroutine, stacking on
+// top of any previous association.
+func (s *Store) PushSlot(sl *Slot) Token { return s.PushToken(sl.v) }
+
 // Push associates v with the current goroutine, stacking on top of any
 // previous association (nested regions).
 func (s *Store) Push(v any) {

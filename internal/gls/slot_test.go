@@ -1,0 +1,60 @@
+package gls
+
+import "testing"
+
+// Slots are the reusable bindings behind hot-team workers: one slot must
+// survive many push/restore rounds, interleave with ordinary PushToken
+// bindings, and always expose its value while bound.
+func TestSlotReusableAcrossRounds(t *testing.T) {
+	s := NewStore()
+	sl := s.NewSlot("worker")
+	for round := 0; round < 5; round++ {
+		if s.Current() != nil {
+			t.Fatalf("round %d: binding leaked from previous round", round)
+		}
+		tok := s.PushSlot(sl)
+		if got := s.Current(); got != "worker" {
+			t.Fatalf("round %d: Current = %v, want worker", round, got)
+		}
+		s.Restore(tok)
+	}
+	if s.Current() != nil {
+		t.Fatal("binding leaked after final restore")
+	}
+}
+
+func TestSlotStacksWithPushToken(t *testing.T) {
+	s := NewStore()
+	sl := s.NewSlot("inner")
+	outer := s.PushToken("outer")
+	tok := s.PushSlot(sl)
+	if s.Current() != "inner" {
+		t.Fatalf("Current = %v, want inner", s.Current())
+	}
+	if d := s.Depth(); d != 2 {
+		t.Fatalf("Depth = %d, want 2", d)
+	}
+	s.Restore(tok)
+	if s.Current() != "outer" {
+		t.Fatalf("Current after restore = %v, want outer", s.Current())
+	}
+	s.Restore(outer)
+	if s.Current() != nil {
+		t.Fatal("binding leaked")
+	}
+}
+
+func TestSlotsFromDistinctStoresInterleave(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	slA, slB := a.NewSlot(1), b.NewSlot(2)
+	tokA := a.PushSlot(slA)
+	tokB := b.PushSlot(slB)
+	if a.Current() != 1 || b.Current() != 2 {
+		t.Fatalf("cross-store slots collided: a=%v b=%v", a.Current(), b.Current())
+	}
+	b.Restore(tokB)
+	if a.Current() != 1 || b.Current() != nil {
+		t.Fatalf("restore of b disturbed a: a=%v b=%v", a.Current(), b.Current())
+	}
+	a.Restore(tokA)
+}

@@ -11,6 +11,7 @@ import (
 	"aomplib/internal/core"
 	"aomplib/internal/jgf/harness"
 	"aomplib/internal/rng"
+	"aomplib/internal/sched"
 	"aomplib/internal/weaver"
 )
 
@@ -324,7 +325,7 @@ func (in *aompInstance) Setup() {
 		dec(0, in.c.nblocks, 1)
 	})
 	prog.Use(core.ParallelRegion("call(* Crypt.run(..))").Threads(in.threads))
-	prog.Use(core.ForShare("call(* Crypt.encryptBlocks(..)) || call(* Crypt.decryptBlocks(..))"))
+	prog.Use(core.ForShare("call(* Crypt.encryptBlocks(..)) || call(* Crypt.decryptBlocks(..))").Schedule(sched.Runtime))
 	prog.Use(core.BarrierAfterPoint("call(* Crypt.encryptBlocks(..))"))
 	prog.MustWeave()
 }

@@ -16,6 +16,7 @@ import (
 	"aomplib/internal/jgf/harness"
 	"aomplib/internal/jgf/jgfutil"
 	"aomplib/internal/rng"
+	"aomplib/internal/sched"
 	"aomplib/internal/weaver"
 )
 
@@ -328,7 +329,7 @@ func (in *aompInstance) Setup() {
 	}
 
 	prog.Use(core.ParallelRegion("call(* Linpack.dgefa(..))").Threads(in.threads))
-	prog.Use(core.ForShare("call(* Linpack.reduceAllCols(..))"))
+	prog.Use(core.ForShare("call(* Linpack.reduceAllCols(..))").Schedule(sched.Runtime))
 	prog.Use(core.MasterSection("call(* Linpack.interchange(..)) || call(* Linpack.dscal(..))"))
 	prog.Use(core.BarrierBeforePoint("call(* Linpack.interchange(..))"))
 	prog.Use(core.BarrierAfterPoint(

@@ -12,6 +12,7 @@ import (
 
 	"aomplib/internal/core"
 	"aomplib/internal/jgf/harness"
+	"aomplib/internal/sched"
 	"aomplib/internal/weaver"
 )
 
@@ -202,7 +203,7 @@ func (in *aompInstance) Setup() {
 	build := cls.ForProc("buildCoeffs", in.s.BuildCoeffs)
 	in.run = cls.Proc("run", func() { build(0, in.s.n, 1) })
 	prog.Use(core.ParallelRegion("call(* Series.run(..))").Threads(in.threads))
-	prog.Use(core.ForShare("call(* Series.buildCoeffs(..))"))
+	prog.Use(core.ForShare("call(* Series.buildCoeffs(..))").Schedule(sched.Runtime))
 	prog.MustWeave()
 }
 

@@ -15,6 +15,7 @@ import (
 	"aomplib/internal/jgf/harness"
 	"aomplib/internal/jgf/jgfutil"
 	"aomplib/internal/rng"
+	"aomplib/internal/sched"
 	"aomplib/internal/weaver"
 )
 
@@ -178,7 +179,7 @@ func (in *aompInstance) Setup() {
 		}
 	})
 	prog.Use(core.ParallelRegion("call(* SOR.run(..))").Threads(in.threads))
-	prog.Use(core.ForShare("call(* SOR.relax*(..))"))
+	prog.Use(core.ForShare("call(* SOR.relax*(..))").Schedule(sched.Runtime))
 	prog.Use(core.BarrierAfterPoint("call(* SOR.relax*(..))"))
 	prog.MustWeave()
 }

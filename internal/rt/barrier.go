@@ -12,7 +12,11 @@ import "sync"
 
 // Barrier is a reusable team barrier with generation counting (equivalent
 // to a sense-reversing barrier). Each call to Wait blocks until all n
-// parties have arrived; the barrier then resets for the next phase.
+// parties have arrived; the barrier then resets for the next phase. The
+// generation discipline is what lets a hot team reuse one barrier across
+// every region entry it serves: a clean lease always leaves the barrier
+// between generations (all waits paired), so no reset is needed at lease
+// boundaries.
 //
 // Its scope is one team of threads, matching the paper: "The barrier has
 // the scope of a team of threads, in a way similar to OpenMP (this

@@ -88,7 +88,11 @@ func (t *task) decRef() {
 // deque is a double-ended task queue owned by one worker. The owner pushes
 // and pops at the bottom (LIFO, keeping its working set hot), thieves take
 // from the top (FIFO, stealing the oldest — typically largest — work
-// first), the classic work-stealing discipline. A mutex guards the ring:
+// first), the classic work-stealing discipline. Deques persist across
+// team leases: a clean region end drains every live task, so the next
+// lease inherits an empty ring with its grown capacity — reuse, not
+// reallocation. (Claimed-and-skipped references from a straggler spawn
+// may remain; popBottom/stealTop callers already tolerate them.) A mutex guards the ring:
 // steals are rare relative to pushes and the critical sections are a few
 // instructions, so a lock-free Chase-Lev buys little here while a mutex
 // keeps the structure trivially correct under the race detector and allows

@@ -31,7 +31,7 @@ func TestNestedRegionRealTeamSemantics(t *testing.T) {
 			if iw.Team.ParentTeam() == nil || iw.Team.ParentTeam().Size != outer {
 				t.Errorf("inner team lineage broken")
 			}
-			if iw.Team.Root().Size != outer || iw.Team.Root().Level != 1 {
+			if iw.Team.Root().Size != outer || iw.Team.Root().Level() != 1 {
 				t.Errorf("root team lookup broken")
 			}
 			// The inner barrier must synchronise exactly the inner team:

@@ -68,10 +68,10 @@ func TestNestedRegions(t *testing.T) {
 	Region(2, func(outer *Worker) {
 		Region(2, func(w *Worker) {
 			inner.Add(1)
-			if w.Team.Level != 2 {
-				t.Errorf("inner level = %d, want 2", w.Team.Level)
+			if w.Team.Level() != 2 {
+				t.Errorf("inner level = %d, want 2", w.Team.Level())
 			}
-			if w.Team.Parent != outer {
+			if w.Team.Parent() != outer {
 				t.Errorf("inner parent mismatch")
 			}
 			if w.Team.Size != 2 {

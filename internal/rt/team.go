@@ -19,6 +19,9 @@ var current = gls.NewStore()
 // "no parallel region anywhere" with one atomic load — keeping woven
 // calls in sequential programs at direct-call cost even under the
 // portable gls backend, whose per-goroutine lookup is comparatively slow.
+// Hot-team workers register only for the duration of a lease round; while
+// parked they hold no binding, so sequential code between regions keeps
+// the fast path.
 var glsContexts atomic.Int64
 
 // Current returns the Worker executing on this goroutine, or nil when the
@@ -54,15 +57,41 @@ func NumThreads() int {
 // any region, 1 inside an outermost region, and so on.
 func Level() int {
 	if w := Current(); w != nil {
-		return w.Team.Level
+		return w.Team.Level()
 	}
 	return 0
 }
 
-// DefaultThreads is the team size used when a parallel region does not
-// specify one; it mirrors OpenMP's default of one thread per available
-// processor.
-func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+// defaultThreads holds the explicitly set process-wide default team size
+// — the size used by parallel regions that do not specify one. 0 means
+// "unset": follow GOMAXPROCS live, so programs that resize it (cgroup
+// quota libraries, runtime.GOMAXPROCS in main) keep getting
+// correctly-sized teams. Once set, region entry reads one atomic instead
+// of re-deriving anything.
+var defaultThreads atomic.Int32
+
+// DefaultThreads returns the team size used when a parallel region does
+// not specify one: the SetDefaultThreads override, or one thread per
+// available processor (OpenMP's default).
+func DefaultThreads() int {
+	if n := defaultThreads.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetDefaultThreads sets the process-wide default team size atomically,
+// returning the previously stored override — 0 when the default was
+// GOMAXPROCS-tracking. Returning the raw value (not the effective one)
+// keeps the save/restore idiom `prev := SetDefaultThreads(n); ...;
+// SetDefaultThreads(prev)` round-tripping exactly: restoring a 0 restores
+// live GOMAXPROCS tracking instead of pinning its current reading.
+func SetDefaultThreads(n int) int {
+	if n < 1 {
+		n = 0
+	}
+	return int(defaultThreads.Swap(int32(n)))
+}
 
 // nestedOff gates nested parallel regions (the analogue of OMP_NESTED).
 // Nesting is enabled by default; when disabled, a Region entered from
@@ -78,25 +107,61 @@ func SetNested(on bool) bool { return !nestedOff.Swap(!on) }
 // NestedEnabled reports whether nested parallel regions spawn real teams.
 func NestedEnabled() bool { return !nestedOff.Load() }
 
-// Team is a team of workers executing one parallel region entry.
+// Team is a long-lived team of workers. One team serves many parallel
+// region entries over its lifetime: each entry leases the team (from the
+// hot-team pool, or cold-spawned), runs one lease round on its workers,
+// and either recycles the team into the pool or retires it (pool.go).
 type Team struct {
-	// Size is the number of workers (master included).
+	// Size is the number of workers (master included). It is fixed for
+	// the team's lifetime and is the pool's cache key.
 	Size int
-	// Level is the region nesting depth (outermost region = 1).
-	Level int
-	// Parent is the worker that entered the region (nil at the outermost
-	// level when entered from sequential code).
-	Parent *Worker
+	// level is the region nesting depth of the current lease (outermost
+	// region = 1). Atomic — with hot teams it is rewritten per lease, and
+	// goroutines that outlived an earlier lease may still query it
+	// through a stale worker context; they get the current lease's value
+	// (stale-but-defined), never a data race.
+	level atomic.Int32
+	// parent is the worker that entered the current lease's region (nil
+	// at the outermost level when entered from sequential code). Atomic
+	// for the same reason as level.
+	parent atomic.Pointer[Worker]
 
 	// workers lists all team members (index == Worker.ID); it is what
-	// task stealing iterates over.
+	// task stealing iterates over. Immutable after newTeam.
 	workers []*Worker
 
 	barrier *Barrier
 
-	// completed flips once the region has fully joined; spawns observed
-	// after that fall back to the global (goroutine-per-task) scope.
+	// completed flips once the current lease has fully joined; spawns
+	// observed after that fall back to the global (goroutine-per-task)
+	// scope until the next lease begins.
 	completed atomic.Bool
+
+	// epoch counts leases served by this team. State recorded against a
+	// team during one region entry (e.g. thread-local drains) is keyed by
+	// (team, epoch) so reuse cannot conflate entries.
+	epoch atomic.Uint64
+
+	// Lease round state: body/arg are what every worker of the round
+	// executes, wg joins the non-master workers. (Re)written by beginLease
+	// before workers wake; the wake-channel send orders the writes against
+	// worker reads.
+	body func(*Worker, any)
+	arg  any
+	wg   sync.WaitGroup
+
+	// poisoned marks a team one of whose workers escaped a lease round via
+	// runtime.Goexit — its goroutine is gone, so the team must be retired,
+	// never recycled. Panics do not poison (the worker survives them), but
+	// a panicked lease also retires its team (pool.go).
+	poisoned atomic.Bool
+	// retired guards double-destruction; a team reaches destroy exactly
+	// once — from its lease holder or from a pool drain.
+	retired bool
+
+	panicMu  sync.Mutex
+	panicVal any
+	panicked bool
 
 	mu         sync.Mutex
 	tasks      *TaskGroup  // lazily created on first task spawn/wait
@@ -118,6 +183,15 @@ type Worker struct {
 	deque deque         // pending deferred tasks (stealable by siblings)
 	rng   atomic.Uint64 // steal-victim selection state
 
+	// slot is the worker's reusable goroutine-local binding, pushed for
+	// the duration of each lease round; reuse keeps warm region entries
+	// free of gls allocations.
+	slot *gls.Slot
+	// wake parks the worker goroutine between leases (nil for the master,
+	// who always runs on the entering goroutine). A send dispatches one
+	// lease round; closing the channel retires the goroutine.
+	wake chan struct{}
+
 	encounters map[any]int64
 	activeFor  []*ForContext // stack: nested work-sharing contexts
 	tls        map[any]any   // thread-local values keyed by construct identity
@@ -132,6 +206,11 @@ type Worker struct {
 
 // Barrier returns the team barrier.
 func (t *Team) Barrier() *Barrier { return t.barrier }
+
+// Epoch reports how many region entries this team has served. Within one
+// entry it is stable; state keyed by (team, epoch) cannot leak between
+// entries of a reused team.
+func (t *Team) Epoch() uint64 { return t.epoch.Load() }
 
 // Tasks returns the team task group (joined by @TaskWait and at region
 // end), creating it on first use so task-free regions pay nothing.
@@ -154,7 +233,9 @@ func (t *Team) tasksIfAny() *TaskGroup {
 }
 
 // depTracker returns the team's dependence tracker (@Depend bookkeeping),
-// creating it on first use so dependence-free regions pay nothing.
+// creating it on first use so dependence-free regions pay nothing. The
+// tracker — and its node/object free lists — carries across leases, one
+// of the reuse wins for region-per-iteration dataflow programs.
 func (t *Team) depTracker() *depTracker {
 	t.mu.Lock()
 	if t.deps == nil {
@@ -165,13 +246,21 @@ func (t *Team) depTracker() *depTracker {
 	return d
 }
 
+// Level reports the region nesting depth of the team's current lease
+// (outermost region = 1).
+func (t *Team) Level() int { return int(t.level.Load()) }
+
+// Parent returns the worker that entered the current lease's region, or
+// nil at the outermost level (or between leases).
+func (t *Team) Parent() *Worker { return t.parent.Load() }
+
 // ParentTeam returns the team enclosing this one, or nil at the outermost
 // level — the team lineage behind nested parallel regions.
 func (t *Team) ParentTeam() *Team {
-	if t.Parent == nil {
-		return nil
+	if p := t.parent.Load(); p != nil {
+		return p.Team
 	}
-	return t.Parent.Team
+	return nil
 }
 
 // Root returns the outermost team of this team's lineage.
@@ -183,10 +272,17 @@ func (t *Team) Root() *Team {
 }
 
 // Region executes body with a team of n workers, reproducing paper Fig. 9:
-// the caller becomes worker 0 (the master), n-1 goroutines are spawned,
-// each establishes its worker context and runs body, and the master joins
-// all spawned workers before returning. Any panic raised by a worker is
+// the caller becomes worker 0 (the master), n-1 workers run body on their
+// own goroutines, each establishes its worker context, and the master
+// joins all workers before returning. Any panic raised by a worker is
 // re-raised on the master after the join, so failures cannot be lost.
+//
+// With hot teams (the default), the workers are leased from a process-wide
+// pool of parked goroutines and returned to it afterwards, so
+// region-per-iteration programs do not pay goroutine spawn/join per entry;
+// SetHotTeams(false) restores the spawn-and-discard behaviour. Either way
+// each entry observes a fresh team: encounter counters, thread-locals and
+// task scopes start empty.
 //
 // n < 1 selects DefaultThreads(). Nested calls create a fresh inner team,
 // as the library "also supports nested parallel regions"; with nesting
@@ -194,111 +290,256 @@ func (t *Team) Root() *Team {
 // region's end is a task scheduling point: every worker drains the team's
 // deferred tasks before the join completes.
 func Region(n int, body func(w *Worker)) {
+	RegionArg(n, plainBody, body)
+}
+
+// plainBody adapts Region's closure form to the argument-carrying form
+// without allocating (func values are pointer-shaped).
+func plainBody(w *Worker, arg any) { arg.(func(*Worker))(w) }
+
+// RegionArg is Region with the body's state threaded through an explicit
+// argument: body is typically a long-lived function and arg a pooled
+// per-entry struct. This split keeps warm region entries allocation-free —
+// a per-entry closure would escape to the heap on every call because the
+// team stores it for its workers.
+func RegionArg(n int, body func(w *Worker, arg any), arg any) {
 	if n < 1 {
 		n = DefaultThreads()
 	}
 	parent := Current()
 	level := 1
 	if parent != nil {
-		level = parent.Team.Level + 1
+		level = parent.Team.Level() + 1
 		if !NestedEnabled() {
 			n = 1
 		}
 	}
-	team := &Team{
+	t := acquireTeam(n)
+	t.beginLease(parent, level, body, arg)
+	finished := false
+	defer func() {
+		if !finished {
+			// The master escaped the lease via runtime.Goexit (worker
+			// panics are recorded, never propagated, by runWorker): join
+			// the workers' round, drain stragglers so queued futures still
+			// resolve, then retire the team — its lease never completed,
+			// so it must not be recycled. The retirement itself is
+			// deferred one level deeper: a drained straggler task may
+			// itself call runtime.Goexit, and aborting this cleanup
+			// before the retire would leak the parked worker goroutines
+			// and leave completed=false on an undrainable team.
+			defer func() {
+				t.completed.Store(true)
+				t.endLease()
+				retireTeam(t)
+			}()
+			t.wg.Wait()
+			t.drainStragglers(t.workers[0])
+		}
+	}()
+	for i := 1; i < n; i++ {
+		t.workers[i].wake <- struct{}{}
+	}
+	t.runWorker(t.workers[0])
+	t.wg.Wait()
+	t.drainStragglers(t.workers[0])
+	finished = true
+	t.completed.Store(true)
+	t.panicMu.Lock()
+	panicked, panicVal := t.panicked, t.panicVal
+	t.panicMu.Unlock()
+	t.endLease()
+	if panicked || t.poisoned.Load() {
+		retireTeam(t)
+	} else {
+		releaseTeam(t)
+	}
+	if panicked {
+		panic(panicVal)
+	}
+}
+
+// beginLease prepares a team — fresh or cached — for one region entry.
+// The per-worker reset restores the observable state of a brand-new team
+// (encounter counters, thread-locals and task scopes start empty, so a
+// reused team is indistinguishable from a cold-spawned one) while the
+// expensive structure — goroutines, deques, barrier, task group, the
+// dependence tracker and its free lists — carries over. The writes here
+// happen before any worker runs: the wake-channel send orders them for
+// the spawned workers, and the master reads them on the entering
+// goroutine itself.
+//
+// The map clears assume no goroutine outside the lease touches
+// worker-private state. That is the standing work-sharing contract
+// (constructs are encountered by all workers of a team or by none, within
+// the region): a goroutine that outlived its region entry may still
+// Spawn — the deque and group paths are lock/atomic-protected; with the
+// team idle or retired the completed flag routes the task to the rescue
+// goroutine, and with the team re-leased (completed freshly false) the
+// task simply joins the current entry and is drained by its join — but
+// running work-sharing, single/master or thread-local constructs from
+// such a goroutine was already an encounter-contract violation on
+// throwaway teams and is undefined on reused ones.
+func (t *Team) beginLease(parent *Worker, level int, body func(*Worker, any), arg any) {
+	t.parent.Store(parent)
+	t.level.Store(int32(level))
+	t.body, t.arg = body, arg
+	t.epoch.Add(1)
+	t.completed.Store(false)
+	t.panicMu.Lock()
+	t.panicked, t.panicVal = false, nil
+	t.panicMu.Unlock()
+	t.wg.Add(t.Size - 1)
+	for _, w := range t.workers {
+		clear(w.encounters)
+		clear(w.tls)
+		w.activeFor = w.activeFor[:0]
+		w.curGroup.Store(nil)
+	}
+}
+
+// endLease drops the lease's references so a cached team pins neither the
+// region body, its argument, nor the parent lineage between entries.
+func (t *Team) endLease() {
+	t.body, t.arg = nil, nil
+	t.parent.Store(nil)
+}
+
+// recordPanic stores the first panic of the current lease round.
+func (t *Team) recordPanic(r any) {
+	t.panicMu.Lock()
+	if !t.panicked {
+		t.panicked, t.panicVal = true, r
+	}
+	t.panicMu.Unlock()
+}
+
+// runWorker executes one lease round on w: establish the worker context,
+// run the body, then help drain the team's deferred tasks (the implicit
+// region-end scheduling point). A panic is recorded for the master to
+// re-raise after the join; it never unwinds past this frame, so a pooled
+// worker goroutine survives to serve later leases.
+func (t *Team) runWorker(w *Worker) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.recordPanic(r)
+		}
+	}()
+	glsContexts.Add(1)
+	tok := current.PushSlot(w.slot)
+	defer func() {
+		current.Restore(tok)
+		glsContexts.Add(-1)
+	}()
+	t.body(w, t.arg)
+	// Implicit region-end join for deferred tasks: each worker helps
+	// execute queued tasks (its own, then stolen) until none remain
+	// anywhere in the team.
+	if g := t.tasksIfAny(); g != nil {
+		g.helpWait(w)
+	}
+}
+
+// workerLoop is the persistent goroutine behind one non-master worker:
+// park on the wake channel, serve one lease round, park again. Closing
+// the channel retires the goroutine. If a round escapes through
+// runtime.Goexit — which recover cannot intercept — the deferred check
+// still signals the join and poisons the team, so the lease holder
+// retires it instead of recycling a team with a dead worker.
+func (t *Team) workerLoop(w *Worker) {
+	for range w.wake {
+		roundDone := false
+		func() {
+			defer func() {
+				if !roundDone {
+					t.poisoned.Store(true)
+				}
+				t.wg.Done()
+			}()
+			t.runWorker(w)
+			roundDone = true
+		}()
+		if !roundDone {
+			return
+		}
+	}
+}
+
+// drainStragglers runs, on the master, any task still queued after the
+// join — stragglers spawned from goroutines that inherited a worker
+// context around the join, or tasks left behind because worker quiesces
+// were skipped by a panic. Futures must resolve even when the region
+// fails, and a team must be quiescent before it is recycled or retired;
+// a panicking task is recorded like a worker panic and the drain resumes,
+// so cleanup always completes and the first panic re-raises.
+func (t *Team) drainStragglers(master *Worker) {
+	g := t.tasksIfAny()
+	if g == nil {
+		return
+	}
+	glsContexts.Add(1)
+	tok := current.PushSlot(master.slot)
+	// Deferred, not straight-line: a drained task may exit via
+	// runtime.Goexit, and skipping the Restore would leave glsContexts
+	// permanently raised (killing the sequential fast path) and the
+	// master slot on the chain — which the retry drain in RegionArg's
+	// Goexit defer would then push onto itself.
+	defer func() {
+		current.Restore(tok)
+		glsContexts.Add(-1)
+	}()
+	for {
+		clean := true
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					clean = false
+					t.recordPanic(r)
+				}
+			}()
+			g.helpWait(master)
+		}()
+		if clean {
+			break
+		}
+	}
+}
+
+// newTeam builds a team of n workers whose n-1 non-master goroutines are
+// spawned immediately and parked awaiting their first lease.
+func newTeam(n int) *Team {
+	t := &Team{
 		Size:    n,
-		Level:   level,
-		Parent:  parent,
 		barrier: NewBarrier(n),
 		workers: make([]*Worker, n),
 	}
 	for i := 0; i < n; i++ {
-		team.workers[i] = newWorker(i, team)
+		t.workers[i] = newWorker(i, t)
 	}
-
-	var (
-		wg       sync.WaitGroup
-		panicMu  sync.Mutex
-		panicVal any
-		panicked bool
-	)
-	run := func(w *Worker) {
-		defer func() {
-			if r := recover(); r != nil {
-				panicMu.Lock()
-				if !panicked {
-					panicked, panicVal = true, r
-				}
-				panicMu.Unlock()
-			}
-		}()
-		glsContexts.Add(1)
-		tok := current.PushToken(w)
-		defer func() {
-			current.Restore(tok)
-			glsContexts.Add(-1)
-		}()
-		body(w)
-		// Implicit region-end join for deferred tasks: each worker helps
-		// execute queued tasks (its own, then stolen) until none remain
-		// anywhere in the team.
-		if g := team.tasksIfAny(); g != nil {
-			g.helpWait(w)
-		}
-	}
-
 	for i := 1; i < n; i++ {
-		w := team.workers[i]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			run(w)
-		}()
+		w := t.workers[i]
+		w.wake = make(chan struct{}, 1)
+		go t.workerLoop(w)
 	}
-	master := team.workers[0]
-	run(master)
-	wg.Wait()
-	// Safety net: run any task still queued — stragglers spawned from
-	// goroutines that inherited a worker context around the join, or
-	// tasks left behind because worker quiesces were skipped by a panic.
-	// They execute on the master (futures must resolve even when the
-	// region fails, as they did when every task was its own goroutine);
-	// a panicking task is recorded like a worker panic and the drain
-	// resumes, so cleanup always completes and the first panic re-raises.
-	if g := team.tasksIfAny(); g != nil {
-		glsContexts.Add(1)
-		tok := current.PushToken(master)
-		for {
-			clean := true
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						clean = false
-						panicMu.Lock()
-						if !panicked {
-							panicked, panicVal = true, r
-						}
-						panicMu.Unlock()
-					}
-				}()
-				g.helpWait(master)
-			}()
-			if clean {
-				break
-			}
-		}
-		current.Restore(tok)
-		glsContexts.Add(-1)
+	return t
+}
+
+// destroy retires a team: the worker goroutines are released (their wake
+// channels close) and the team is dropped for collection.
+func (t *Team) destroy() {
+	if t.retired {
+		return
 	}
-	team.completed.Store(true)
-	if panicked {
-		panic(panicVal)
+	t.retired = true
+	for _, w := range t.workers[1:] {
+		close(w.wake)
 	}
 }
 
 func newWorker(id int, t *Team) *Worker {
 	w := &Worker{ID: id, Team: t}
 	w.rng.Store(uint64(id)*0x9e3779b97f4a7c15 + 0x1234567887654321)
+	w.slot = current.NewSlot(w)
 	return w
 }
 
@@ -306,7 +547,9 @@ func newWorker(id int, t *Team) *Worker {
 // identified by key, incrementing it. Work-sharing and single constructs
 // use matching encounter indices across workers to share per-encounter
 // state; this requires — as in OpenMP — that such constructs are
-// encountered by all workers of the team or by none.
+// encountered by all workers of the team or by none. Counters reset at
+// each lease, so every region entry starts from encounter 0 exactly as on
+// a fresh team.
 func (w *Worker) NextEncounter(key any) int64 {
 	if w.encounters == nil {
 		w.encounters = make(map[any]int64)
@@ -341,7 +584,9 @@ func (t *Team) Instance(key any, enc int64, factory func() any) any {
 
 // Release marks the calling worker as done with encounter enc of construct
 // key; when all workers have released it the state is dropped, bounding
-// memory across the many encounters of long-running regions.
+// memory across the many encounters of long-running regions. Instance and
+// Release always pair within one lease (construct encounters cannot span
+// region entries), so reuse inherits an empty construct table.
 func (t *Team) Release(key any, enc int64) {
 	t.mu.Lock()
 	if byEnc := t.constructs[key]; byEnc != nil {
@@ -372,5 +617,5 @@ func (t *Team) pendingInstances() int {
 
 // String implements fmt.Stringer for diagnostics.
 func (w *Worker) String() string {
-	return fmt.Sprintf("worker %d/%d (level %d)", w.ID, w.Team.Size, w.Team.Level)
+	return fmt.Sprintf("worker %d/%d (level %d)", w.ID, w.Team.Size, w.Team.Level())
 }

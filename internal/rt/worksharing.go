@@ -21,6 +21,12 @@ type ForContext struct {
 
 // forShared is the team-shared state of one for-construct encounter.
 type forShared struct {
+	// kind is the schedule this encounter resolved to. Indirect kinds
+	// (sched.Runtime, sched.Auto) are resolved exactly once, by the first
+	// arriving worker, and shared here — so a concurrent change of the
+	// process-wide default can never split one encounter across two
+	// schedules (which would desynchronise the implicit barrier).
+	kind sched.Kind
 	disp *sched.Dispenser // dynamic/guided only
 
 	// ordered sequencing: next loop value whose ordered section may run.
@@ -34,16 +40,20 @@ type forKey struct {
 }
 
 // BeginFor establishes the work-sharing context for one encounter of the
-// construct identified by key on worker w. kind/chunk select the schedule.
-// The returned ForContext must be finished with EndFor (normally deferred).
-// Contexts are recycled through a worker-private free list, so steady-state
-// encounters of for constructs allocate nothing on the worker side.
+// construct identified by key on worker w. kind/chunk select the schedule;
+// indirect kinds (Runtime, Auto) resolve once per encounter in the shared
+// state, and the resolved kind is published as ForContext.Kind — callers
+// switch on it, not on the declared kind. The returned ForContext must be
+// finished with EndFor (normally deferred). Contexts are recycled through
+// a worker-private free list, so steady-state encounters of for
+// constructs allocate nothing on the worker side.
 func BeginFor(w *Worker, key any, sp sched.Space, kind sched.Kind, chunk int) *ForContext {
 	enc := w.NextEncounter(forKey{key})
 	shared := w.Team.Instance(forKey{key}, enc, func() any {
-		fs := &forShared{onext: sp.Lo}
-		if kind == sched.Dynamic || kind == sched.Guided {
-			fs.disp = sched.NewDispenser(sp, chunk, kind == sched.Guided, w.Team.Size)
+		k := sched.Resolve(kind, sp.Count(), w.Team.Size)
+		fs := &forShared{kind: k, onext: sp.Lo}
+		if k == sched.Dynamic || k == sched.Guided {
+			fs.disp = sched.NewDispenser(sp, chunk, k == sched.Guided, w.Team.Size)
 		}
 		return fs
 	}).(*forShared)
@@ -54,7 +64,7 @@ func BeginFor(w *Worker, key any, sp sched.Space, kind sched.Kind, chunk int) *F
 	} else {
 		fc = &ForContext{}
 	}
-	*fc = ForContext{Space: sp, Kind: kind, Worker: w, shared: shared}
+	*fc = ForContext{Space: sp, Kind: shared.kind, Worker: w, shared: shared}
 	w.activeFor = append(w.activeFor, fc)
 	w.Team.Release(forKey{key}, enc)
 	return fc

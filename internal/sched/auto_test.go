@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStringCoversAllKinds(t *testing.T) {
+	want := map[Kind]string{
+		StaticBlock:  "staticBlock",
+		StaticCyclic: "staticCyclic",
+		Dynamic:      "dynamic",
+		Guided:       "guided",
+		Custom:       "caseSpecific",
+		Auto:         "auto",
+		Runtime:      "runtime",
+	}
+	for _, k := range Kinds() {
+		if k.String() != want[k] {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want[k])
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestParseKindRoundTrips(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+		// Case-insensitive, as flag values are typed by hand.
+		upper, err := ParseKind(strings.ToUpper(k.String()))
+		if err != nil || upper != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", strings.ToUpper(k.String()), upper, err, k)
+		}
+	}
+	if _, err := ParseKind("fancy"); err == nil {
+		t.Fatal("unknown schedule name parsed")
+	} else if !strings.Contains(err.Error(), "staticBlock") {
+		t.Fatalf("parse error does not list valid names: %v", err)
+	}
+}
+
+func TestSetDefaultGuardsAndSwaps(t *testing.T) {
+	orig := Default()
+	defer SetDefault(orig) //nolint:errcheck // restoring a previously valid kind
+	if prev, err := SetDefault(Guided); err != nil || prev != orig {
+		t.Fatalf("SetDefault(Guided) = %v, %v", prev, err)
+	}
+	if Default() != Guided {
+		t.Fatalf("Default() = %v after SetDefault(Guided)", Default())
+	}
+	if _, err := SetDefault(Runtime); err == nil {
+		t.Fatal("Runtime accepted as its own default")
+	}
+	if _, err := SetDefault(Custom); err == nil {
+		t.Fatal("Custom accepted as process default")
+	}
+	if _, err := SetDefault(Kind(42)); err == nil {
+		t.Fatal("unknown kind accepted as process default")
+	}
+	if Default() != Guided {
+		t.Fatalf("rejected SetDefault mutated the default: %v", Default())
+	}
+}
+
+func TestResolveRuntimeAndAuto(t *testing.T) {
+	orig := Default()
+	defer SetDefault(orig) //nolint:errcheck
+	if _, err := SetDefault(StaticCyclic); err != nil {
+		t.Fatal(err)
+	}
+	if got := Resolve(Runtime, 1000, 4); got != StaticCyclic {
+		t.Fatalf("Runtime resolved to %v, want staticCyclic", got)
+	}
+	// Runtime -> Auto -> concrete: the default may itself be Auto.
+	if _, err := SetDefault(Auto); err != nil {
+		t.Fatal(err)
+	}
+	if got := Resolve(Runtime, 4*autoGuidedMin, 4); got != Guided {
+		t.Fatalf("Runtime->Auto large loop resolved to %v, want guided", got)
+	}
+
+	// Auto: short loops and single workers stay static; long loops on
+	// real teams go guided. Concrete kinds pass through untouched.
+	cases := []struct {
+		count, nthreads int
+		want            Kind
+	}{
+		{count: 10, nthreads: 4, want: StaticBlock},
+		{count: 4*autoGuidedMin - 1, nthreads: 4, want: StaticBlock},
+		{count: 4 * autoGuidedMin, nthreads: 4, want: Guided},
+		{count: 1 << 20, nthreads: 1, want: StaticBlock},
+	}
+	for _, c := range cases {
+		if got := Resolve(Auto, c.count, c.nthreads); got != c.want {
+			t.Errorf("Resolve(Auto, %d, %d) = %v, want %v", c.count, c.nthreads, got, c.want)
+		}
+	}
+	for _, k := range []Kind{StaticBlock, StaticCyclic, Dynamic, Guided, Custom} {
+		if got := Resolve(k, 5, 2); got != k {
+			t.Errorf("Resolve(%v) rewrote a concrete kind to %v", k, got)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 )
 
@@ -27,6 +28,18 @@ const (
 	Guided
 	// Custom delegates to a user ScheduleFunc (case-specific schedule).
 	Custom
+	// Auto picks a concrete schedule per construct encounter from the
+	// loop's shape: static by blocks when the trip count is small relative
+	// to the team (chunk dispensing would dominate such loops), guided
+	// otherwise (self-balancing at negligible relative cost). The choice
+	// is a pure function of trip count and team size (Resolve), so every
+	// worker of a team resolves the same encounter identically.
+	Auto
+	// Runtime defers the choice to the process-wide default schedule
+	// (SetDefault) — the OMP_SCHEDULE analogue. Sweeping schedules from a
+	// benchmark flag needs no aspect changes: bind Runtime, set the
+	// default per run.
+	Runtime
 )
 
 // String implements fmt.Stringer; names match the paper's annotations.
@@ -42,9 +55,80 @@ func (k Kind) String() string {
 		return "guided"
 	case Custom:
 		return "caseSpecific"
+	case Auto:
+		return "auto"
+	case Runtime:
+		return "runtime"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
+}
+
+// Kinds lists every named schedule in declaration order, for flag help
+// and parser errors.
+func Kinds() []Kind {
+	return []Kind{StaticBlock, StaticCyclic, Dynamic, Guided, Custom, Auto, Runtime}
+}
+
+// ParseKind resolves a schedule name — as produced by Kind.String,
+// case-insensitively — back to its Kind. Unknown names error with the
+// valid list.
+func ParseKind(s string) (Kind, error) {
+	names := make([]string, 0, len(Kinds()))
+	for _, k := range Kinds() {
+		if strings.EqualFold(s, k.String()) {
+			return k, nil
+		}
+		names = append(names, k.String())
+	}
+	return 0, fmt.Errorf("sched: unknown schedule %q (valid: %s)", s, strings.Join(names, ", "))
+}
+
+// defaultKind is the process-wide schedule behind Runtime. The zero value
+// is StaticBlock — OpenMP's default — so unset means "static by blocks".
+var defaultKind atomic.Int32
+
+// Default returns the process-wide default schedule that Runtime resolves
+// to.
+func Default() Kind { return Kind(defaultKind.Load()) }
+
+// SetDefault sets the process-wide default schedule, returning the
+// previous one. Runtime (a self-reference) and Custom (it cannot carry the
+// required ScheduleFunc through a process-wide knob) are rejected.
+func SetDefault(k Kind) (Kind, error) {
+	switch k {
+	case StaticBlock, StaticCyclic, Dynamic, Guided, Auto:
+		return Kind(defaultKind.Swap(int32(k))), nil
+	case Runtime:
+		return Default(), fmt.Errorf("sched: runtime cannot be its own default")
+	case Custom:
+		return Default(), fmt.Errorf("sched: caseSpecific needs a ScheduleFunc and cannot be the process default")
+	}
+	return Default(), fmt.Errorf("sched: unknown schedule Kind(%d)", int(k))
+}
+
+// autoGuidedMin is the per-worker trip count above which Auto prefers
+// guided: below it the loop is too short for chunk dispensing to pay for
+// the balancing it buys.
+const autoGuidedMin = 64
+
+// Resolve maps Runtime to the process-wide default, then Auto to a
+// concrete policy chosen from the trip count and team size. Runtime reads
+// the mutable default, so callers that need one decision per team
+// encounter must call Resolve once and share the result (rt.BeginFor
+// resolves inside the team-shared encounter state for exactly this
+// reason).
+func Resolve(k Kind, count, nthreads int) Kind {
+	if k == Runtime {
+		k = Default()
+	}
+	if k == Auto {
+		if nthreads <= 1 || count < nthreads*autoGuidedMin {
+			return StaticBlock
+		}
+		return Guided
+	}
+	return k
 }
 
 // ScheduleFunc is the extension point for case-specific schedules: given
