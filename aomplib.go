@@ -40,6 +40,7 @@ package aomplib
 
 import (
 	"aomplib/internal/core"
+	"aomplib/internal/obs"
 	"aomplib/internal/pointcut"
 	"aomplib/internal/rt"
 	"aomplib/internal/sched"
@@ -354,10 +355,92 @@ var HotTeamsEnabled = core.HotTeamsEnabled
 // It returns the previous explicit bound.
 var SetPoolSize = core.SetPoolSize
 
-// PoolStats snapshots the hot-team pool: cumulative lease/hit/miss/
-// recycle/retire/evict counters plus the teams and workers parked right
-// now — the observability hook for tuning SetPoolSize.
+// PoolStats snapshots the hot-team pool — the observability hook for
+// tuning SetPoolSize. Counter fields are cumulative since process start:
+//
+//   - Leases: parallel region entries (every entry leases a team);
+//   - Hits: entries served by a cached pool team;
+//   - Misses: entries that cold-spawned a team with hot teams enabled
+//     (pool empty for that size, or nesting overflowed it);
+//   - Disabled: entries that cold-spawned because hot teams were off;
+//   - Recycled: clean entries that returned their team to the pool;
+//   - Retired: teams destroyed after a panic or a dead worker — poisoned
+//     state is never recycled;
+//   - Evicted: healthy teams dropped because the pool was full, shrunk by
+//     SetPoolSize, or disabled by SetHotTeams(false).
+//
+// Instantaneous fields describe the moment of the call: IdleTeams and
+// IdleWorkers are what is parked right now, MaxIdleWorkers the current
+// capacity bound. Hits+Misses+Disabled == Leases, and every lease ends in
+// exactly one of Recycled, Retired or Evicted once its region completes.
 var PoolStats = core.PoolStats
 
 // TeamPoolStats is the snapshot type returned by PoolStats.
 type TeamPoolStats = rt.PoolStats
+
+// ------------------------------------------------------------- tracing --
+
+// EnableTracing installs (or uninstalls) the built-in runtime tracer — an
+// OMPT-style tool the runtime reports region forks, hot-team leases, task
+// lifecycles, steals, barrier waits and dependence releases into — and
+// returns whether it was previously installed. Enabled, the aggregate
+// counters behind RuntimeStats accumulate; event buffering for timeline
+// export additionally needs StartTrace. Disabled (the default), every
+// emit point costs one atomic load and a predicted branch, so the
+// allocation-free hot paths are unchanged.
+var EnableTracing = core.EnableTracing
+
+// TracingEnabled reports whether the built-in tracer is installed.
+var TracingEnabled = core.TracingEnabled
+
+// StartTrace begins recording runtime events into lock-free per-worker
+// ring buffers, enabling the tracer if needed and discarding any previous
+// trace.
+var StartTrace = core.StartTrace
+
+// StopTrace ends the recording and writes the timeline as Chrome
+// trace-event JSON to the writer — load it at ui.perfetto.dev: one track
+// per worker, nested region/work/task slices, barrier-wait slices, and
+// flow arrows from task spawn (and dependence release) to task run.
+var StopTrace = core.StopTrace
+
+// RuntimeStats snapshots the runtime's observability counters: the
+// tracer's event statistics (steals, tasks spawned/inlined, barrier wait
+// nanoseconds, ...) plus the hot-team pool's lease counters.
+var RuntimeStats = core.ReadRuntimeStats
+
+// RuntimeSnapshot is the aggregate returned by RuntimeStats.
+type RuntimeSnapshot = core.RuntimeSnapshot
+
+// TraceStats is the tracer's counter snapshot (RuntimeSnapshot.Events).
+type TraceStats = obs.Stats
+
+// TraceHooks is the OMPT-style tool interface: one callback per runtime
+// event (region fork/join, team lease/retire, task lifecycle, steals,
+// barrier waits, dependence releases, spans). Nil entries are skipped;
+// callbacks run inline on the emitting goroutine and must not block,
+// allocate, or re-enter the runtime.
+type TraceHooks = obs.Hooks
+
+// TraceWorkerID identifies a worker in TraceHooks callbacks — a
+// process-unique identity, stable across hot-team reuse.
+type TraceWorkerID = obs.WorkerID
+
+// NoTraceWorker marks events emitted outside any worker context.
+const NoTraceWorker = obs.NoWorker
+
+// TraceTaskKind classifies task-creation events in TraceHooks callbacks.
+type TraceTaskKind = obs.TaskKind
+
+// SetTraceHooks installs a custom tool's hook table (nil uninstalls),
+// returning the previous table — the OMPT analogue of registering a tool.
+// EnableTracing installs the built-in tracer through the same slot.
+var SetTraceHooks = core.SetTraceHooks
+
+// TraceSpans builds a tracing aspect: matched methods become named spans
+// on the recording trace — instrumentation woven into the base program
+// like any other crosscutting concern, and unplugged the same way.
+var TraceSpans = core.TraceSpans
+
+// TraceAspect is TraceSpans' aspect type.
+type TraceAspect = core.TraceAspect

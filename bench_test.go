@@ -243,6 +243,29 @@ func BenchmarkOverhead_RegionEntryCold(b *testing.B) {
 	}
 }
 
+// BenchmarkOverhead_RegionEntryTraced is the warm entry with the runtime
+// tracer installed and recording — the CI gate asserting that enabling
+// observability adds no allocations to the facade region-entry path (the
+// emit points write fixed-size records into preallocated ring buffers).
+func BenchmarkOverhead_RegionEntryTraced(b *testing.B) {
+	aomplib.StartTrace()
+	defer aomplib.EnableTracing(false)
+	p := aomplib.NewProgram("bench")
+	f := p.Class("A").Proc("m", func() {})
+	p.Use(aomplib.ParallelRegion("call(* A.m(..))").Threads(threads()))
+	p.MustWeave()
+	f() // warm team + register trace rings
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&1023 == 0 {
+			// Reset the rings periodically so the gate measures the record
+			// path, not (mostly) the cheaper buffer-full drop path.
+			aomplib.StartTrace()
+		}
+		f()
+	}
+}
+
 // BenchmarkOverhead_PointcutMatch measures pointcut evaluation (weave-time
 // cost only; never paid at run time).
 func BenchmarkOverhead_PointcutMatch(b *testing.B) {

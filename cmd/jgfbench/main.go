@@ -138,12 +138,20 @@ func parseOnly(s string, benches []bench) map[string]bool {
 	return filter
 }
 
-// jsonResult is one measurement in the machine-readable report.
+// jsonResult is one measurement in the machine-readable report. Seconds
+// is the fastest repetition (the JGF headline); min/max/mean/stddev
+// summarise all repetitions so a noisy run is distinguishable from a slow
+// one when comparing reports across commits.
 type jsonResult struct {
 	Benchmark string  `json:"benchmark"`
 	Version   string  `json:"version"`
 	Threads   int     `json:"threads"`
 	Seconds   float64 `json:"seconds"`
+	MinSecs   float64 `json:"min_seconds"`
+	MaxSecs   float64 `json:"max_seconds"`
+	MeanSecs  float64 `json:"mean_seconds"`
+	Stddev    float64 `json:"stddev_seconds"`
+	Reps      int     `json:"reps"`
 	Speedup   float64 `json:"speedup,omitempty"`
 	Valid     bool    `json:"valid"`
 	Error     string  `json:"error,omitempty"`
@@ -174,12 +182,18 @@ func main() {
 	reps := flag.Int("reps", 3, "kernel repetitions (fastest kept)")
 	only := flag.String("only", "", "comma-separated benchmark filter (e.g. crypt,moldyn)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
+	tracePath := flag.String("trace", "",
+		"record the whole run and write a Chrome trace (load at ui.perfetto.dev) to this file")
 	schedule := flag.String("schedule", "",
 		"process-wide default schedule resolved by @For(schedule=runtime) constructs\n"+
 			"(staticBlock, staticCyclic, dynamic, guided, auto)")
 	hotTeams := flag.Bool("hotteams", true, "reuse pooled worker teams across region entries")
 	flag.Parse()
 
+	if *reps <= 0 {
+		fmt.Fprintf(os.Stderr, "jgfbench: -reps must be > 0 (got %d): a run with zero repetitions measures nothing\n", *reps)
+		os.Exit(2)
+	}
 	if *schedule != "" {
 		k, err := aomplib.ParseSchedule(*schedule)
 		if err != nil {
@@ -208,22 +222,33 @@ func main() {
 			seqSecs[m.Benchmark] = m.Seconds
 		}
 	}
-	for _, b := range benches {
-		if len(filter) > 0 && !filter[strings.ToLower(b.name)] {
-			continue
-		}
-		fmt.Fprintf(os.Stderr, "running %s (seq)...\n", b.name)
-		add(harness.Measure(b.name, harness.Seq, 1, b.seq(), *reps))
-		for _, t := range threads {
-			fmt.Fprintf(os.Stderr, "running %s (MT, %d threads)...\n", b.name, t)
-			add(harness.Measure(b.name, harness.MT, t, b.mt(t), *reps))
-			fmt.Fprintf(os.Stderr, "running %s (Aomp, %d threads)...\n", b.name, t)
-			add(harness.Measure(b.name, harness.Aomp, t, b.aomp(t), *reps))
-			if b.dep != nil {
-				fmt.Fprintf(os.Stderr, "running %s (Aomp-DF, %d threads)...\n", b.name, t)
-				add(harness.Measure(b.name, harness.AompDep, t, b.dep(t), *reps))
+	runAll := func() {
+		for _, b := range benches {
+			if len(filter) > 0 && !filter[strings.ToLower(b.name)] {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "running %s (seq)...\n", b.name)
+			add(harness.Measure(b.name, harness.Seq, 1, b.seq(), *reps))
+			for _, t := range threads {
+				fmt.Fprintf(os.Stderr, "running %s (MT, %d threads)...\n", b.name, t)
+				add(harness.Measure(b.name, harness.MT, t, b.mt(t), *reps))
+				fmt.Fprintf(os.Stderr, "running %s (Aomp, %d threads)...\n", b.name, t)
+				add(harness.Measure(b.name, harness.Aomp, t, b.aomp(t), *reps))
+				if b.dep != nil {
+					fmt.Fprintf(os.Stderr, "running %s (Aomp-DF, %d threads)...\n", b.name, t)
+					add(harness.Measure(b.name, harness.AompDep, t, b.dep(t), *reps))
+				}
 			}
 		}
+	}
+	if *tracePath != "" {
+		if err := traceRun(*tracePath, runAll); err != nil {
+			fmt.Fprintf(os.Stderr, "jgfbench: writing trace %s: %v\n", *tracePath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "jgfbench: wrote %s\n", *tracePath)
+	} else {
+		runAll()
 	}
 
 	fmt.Printf("\nFigure 13 — speed-up over sequential (size %s, GOMAXPROCS=%d, hotteams=%v)\n\n",
@@ -259,7 +284,7 @@ func main() {
 func writeJSON(path, size string, threads []int, reps int,
 	all []harness.Measurement, seqSecs map[string]float64) error {
 	rep := jsonReport{
-		Schema:     1,
+		Schema:     2,
 		Size:       size,
 		Threads:    threads,
 		Reps:       reps,
@@ -275,6 +300,11 @@ func writeJSON(path, size string, threads []int, reps int,
 			Version:   string(m.Version),
 			Threads:   m.Threads,
 			Seconds:   m.Seconds,
+			MinSecs:   m.Min,
+			MaxSecs:   m.Max,
+			MeanSecs:  m.Mean,
+			Stddev:    m.Stddev,
+			Reps:      m.Reps,
 			Valid:     m.Err == nil,
 		}
 		if m.Err != nil {

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"os"
+
+	"aomplib"
+)
+
+// traceRun executes run inside a recording runtime trace and writes the
+// timeline as Chrome trace-event JSON to path — the -trace flag's
+// implementation, shared with the trace-validity test. Tracing stays
+// enabled only for the run: the tracer is uninstalled afterwards so a
+// traced benchmark process ends in the same runtime state it started in.
+func traceRun(path string, run func()) error {
+	aomplib.StartTrace()
+	defer aomplib.EnableTracing(false)
+	run()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := aomplib.StopTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -9,6 +9,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"time"
 )
@@ -34,41 +35,62 @@ const (
 	AompDep Version = "Aomp-DF"
 )
 
-// Measurement is one timed, validated benchmark execution.
+// Measurement is one timed, validated benchmark execution. Seconds is the
+// fastest repetition (the JGF headline number); Min/Max/Mean/Stddev
+// summarise all repetitions so run-to-run noise is visible in reports
+// (Min == Seconds, Stddev is the population deviation, 0 for one rep).
 type Measurement struct {
 	Benchmark string
 	Version   Version
 	Threads   int
 	Seconds   float64
+	Min       float64
+	Max       float64
+	Mean      float64
+	Stddev    float64
+	Reps      int
 	Err       error
 }
 
 // Measure runs inst: one untimed Setup, then reps timed Kernel executions
-// (taking the fastest, JGF-style), then Validate.
+// (the fastest is the headline, JGF-style; all repetitions feed the spread
+// statistics), then Validate.
 func Measure(name string, version Version, threads int, inst Instance, reps int) Measurement {
 	if reps < 1 {
 		reps = 1
 	}
 	inst.Setup()
-	best := time.Duration(0)
+	secs := make([]float64, reps)
 	for r := 0; r < reps; r++ {
 		start := time.Now()
 		inst.Kernel()
-		d := time.Since(start)
-		if r == 0 || d < best {
-			best = d
-		}
+		secs[r] = time.Since(start).Seconds()
 		if r != reps-1 {
 			inst.Setup() // fresh state per repetition
 		}
 	}
-	return Measurement{
+	m := Measurement{
 		Benchmark: name,
 		Version:   version,
 		Threads:   threads,
-		Seconds:   best.Seconds(),
+		Reps:      reps,
 		Err:       inst.Validate(),
 	}
+	m.Min, m.Max = secs[0], secs[0]
+	sum := 0.0
+	for _, s := range secs {
+		sum += s
+		m.Min = math.Min(m.Min, s)
+		m.Max = math.Max(m.Max, s)
+	}
+	m.Mean = sum / float64(reps)
+	varsum := 0.0
+	for _, s := range secs {
+		varsum += (s - m.Mean) * (s - m.Mean)
+	}
+	m.Stddev = math.Sqrt(varsum / float64(reps))
+	m.Seconds = m.Min
+	return m
 }
 
 // Speedup computes seq.Seconds / m.Seconds.

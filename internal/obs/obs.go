@@ -1,0 +1,117 @@
+// Package obs is the runtime observability subsystem: an OMPT-style tool
+// interface the rest of the runtime reports into. The runtime (internal/rt)
+// carries emit points at every interesting transition — region fork/join,
+// hot-team lease/retire, task create/schedule/complete, steal attempts,
+// barrier waits, dependence releases, work-sharing encounters — each
+// guarded by a single atomic load of the published hook table. With no
+// tool installed that load returns nil and the emit point is one predicted
+// branch, so the runtime's allocation-free hot paths are unchanged.
+//
+// The package ships one built-in tool, the tracer: hook implementations
+// that count events into an aggregate Stats snapshot and, while a trace is
+// recording, append fixed-size records to per-worker ring buffers with no
+// locks and no allocations on the emit path. A drain pass converts the
+// records to Chrome trace-event JSON (loadable in Perfetto: one track per
+// worker, nested phase slices, flow arrows from task spawn to task run and
+// from dependence release to the released task).
+//
+// Custom tools install their own hook table with SetHooks, the OMPT
+// analogue of registering a tool; the built-in tracer is installed with
+// EnableTracing/StartTrace.
+package obs
+
+import "sync/atomic"
+
+// WorkerID is a process-unique worker identity, stable for the lifetime of
+// the worker (hot-team workers keep theirs across leases). It names the
+// trace track events land on. NoWorker marks events emitted outside any
+// worker context (sequential code, rescue goroutines).
+type WorkerID int32
+
+// NoWorker is the WorkerID of emit points outside any parallel region.
+const NoWorker WorkerID = -1
+
+// TaskKind classifies task creation events.
+type TaskKind uint8
+
+// Task kinds: deferred deque tasks (@Task), future-backed tasks
+// (@FutureTask), and their dependence-clause variants (@Depend).
+const (
+	TaskDeferred TaskKind = iota
+	TaskFuture
+	TaskDependent
+	TaskFutureDependent
+)
+
+// Hooks is the tool interface: one callback per runtime event, in the
+// spirit of OpenMP's OMPT. Nil entries are skipped by the emit points, so
+// a tool implements only what it needs. Callbacks run inline on the
+// emitting goroutine — often inside the runtime's hottest loops — and must
+// not block, allocate, or re-enter the runtime.
+type Hooks struct {
+	// RegionFork fires on the master as a parallel region starts, before
+	// any worker wakes; RegionJoin fires after the region fully joined.
+	RegionFork func(master WorkerID, team uint64, level, size int)
+	RegionJoin func(master WorkerID, team uint64, level int)
+
+	// ImplicitBegin/ImplicitEnd bracket one worker's share of a region
+	// entry (OMPT's implicit task): every worker of the team fires the
+	// pair, master included.
+	ImplicitBegin func(w WorkerID, team uint64, level int)
+	ImplicitEnd   func(w WorkerID, team uint64)
+
+	// TeamLease fires when a region entry obtains its team — hit reports
+	// whether the hot-team pool served it; TeamRetire fires when a team is
+	// destroyed (panic retirement, eviction, pool drain).
+	TeamLease  func(w WorkerID, team uint64, size int, hit bool)
+	TeamRetire func(team uint64, size int)
+
+	// TaskCreate fires when a task is queued on a deque or parked in the
+	// dependence tracker; TaskSchedule/TaskComplete bracket its execution
+	// (on the executing worker, which may differ from the spawner);
+	// TaskInline fires instead of the triple for tasks that never enter a
+	// deque — out-of-region spawns running on their own goroutines.
+	TaskCreate   func(w WorkerID, task uint64, kind TaskKind)
+	TaskSchedule func(w WorkerID, task uint64)
+	TaskComplete func(w WorkerID, task uint64)
+	TaskInline   func(w WorkerID, task uint64)
+
+	// StealAttempt fires when a worker with an empty deque starts probing
+	// its siblings; StealSuccess fires when a probe takes a task.
+	StealAttempt func(w WorkerID)
+	StealSuccess func(w WorkerID, task uint64, victim WorkerID)
+
+	// BarrierArrive fires as a worker reaches a team barrier;
+	// BarrierDepart fires as it is released, carrying the nanoseconds the
+	// worker spent waiting.
+	BarrierArrive func(w WorkerID, team uint64)
+	BarrierDepart func(w WorkerID, team uint64, waitNs int64)
+
+	// DepRelease fires when the retirement of a task's last predecessor
+	// releases a parked dependent task to a deque.
+	DepRelease func(w WorkerID, task uint64)
+
+	// WorkBegin/WorkEnd bracket one worker's share of a work-sharing
+	// construct encounter (@For); kind is the resolved sched.Kind.
+	WorkBegin func(w WorkerID, team uint64, kind uint8)
+	WorkEnd   func(w WorkerID, team uint64)
+
+	// SpanBegin/SpanEnd bracket a user-defined span — the TraceSpans
+	// aspect emits them around matched method calls. name is an id
+	// interned with InternName.
+	SpanBegin func(w WorkerID, name uint32)
+	SpanEnd   func(w WorkerID, name uint32)
+}
+
+// active is the published hook table. One atomic load decides the disabled
+// path, so emit points cost a predicted branch when no tool is installed.
+var active atomic.Pointer[Hooks]
+
+// Active returns the installed hook table, or nil when observability is
+// off. Runtime emit points call this once and skip everything on nil.
+func Active() *Hooks { return active.Load() }
+
+// SetHooks installs a custom tool's hook table (nil uninstalls), returning
+// the previous table. The table must not be mutated after installation —
+// publish a fresh one instead.
+func SetHooks(h *Hooks) *Hooks { return active.Swap(h) }

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The ring must fill to capacity, drop (and count) the overflow, and reuse
+// its slots ring-wise across drains — wraparound is masked indexing over a
+// monotonically claimed slot counter, so records land in previously
+// drained slots without corruption.
+func TestRingWraparoundAndDropAccounting(t *testing.T) {
+	r := newRing(8)
+	for i := 1; i <= 20; i++ {
+		r.append(Event{Kind: EvTaskCreate, Task: uint64(i)})
+	}
+	if got := r.len(); got != 8 {
+		t.Fatalf("ring holds %d records, want capacity 8", got)
+	}
+	if got := r.dropped.Load(); got != 12 {
+		t.Fatalf("dropped = %d, want 12", got)
+	}
+	evs := r.drain()
+	if len(evs) != 8 {
+		t.Fatalf("drained %d records, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Task != uint64(i+1) {
+			t.Fatalf("record %d has task %d, want %d (oldest-first order)", i, ev.Task, i+1)
+		}
+	}
+
+	// Slots are reused across drains: the next fill wraps the masked index
+	// over the just-drained slots.
+	for i := 100; i < 110; i++ {
+		r.append(Event{Kind: EvTaskCreate, Task: uint64(i)})
+	}
+	evs = r.drain()
+	if len(evs) != 8 {
+		t.Fatalf("second drain got %d records, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Task != uint64(100+i) {
+			t.Fatalf("after wraparound record %d has task %d, want %d", i, ev.Task, 100+i)
+		}
+	}
+	if got := r.dropped.Load(); got != 14 {
+		t.Fatalf("dropped = %d, want 14", got)
+	}
+	if r.len() != 0 {
+		t.Fatalf("ring not empty after drain: %d", r.len())
+	}
+}
+
+func TestRingCapacityRoundsUp(t *testing.T) {
+	r := newRing(9)
+	if len(r.buf) != 16 {
+		t.Fatalf("capacity = %d, want 16 (next power of two)", len(r.buf))
+	}
+}
+
+// Drains racing with emitters must never tear a record or lose one
+// unaccounted: every append either lands in some drain or bumps the drop
+// counter. Run under -race this also proves the writers-counter handshake
+// orders slot writes before drain reads.
+func TestRingConcurrentDrainWhileEmitting(t *testing.T) {
+	r := newRing(64)
+	const writersN, perWriter = 4, 20000
+	var (
+		appended atomic.Uint64
+		done     atomic.Int32
+		wg       sync.WaitGroup
+	)
+	for g := 0; g < writersN; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer done.Add(1)
+			for i := 0; i < perWriter; i++ {
+				r.append(Event{Kind: EvTaskCreate, Task: appended.Add(1)})
+			}
+		}()
+	}
+	drained := 0
+	seen := map[uint64]bool{}
+	for done.Load() != writersN {
+		if r.len() == 0 {
+			// Back-to-back drains would keep the draining flag permanently
+			// raised and shed every append; yield so writers get windows,
+			// as a real StopTrace-style drain cadence does.
+			runtime.Gosched()
+			continue
+		}
+		for _, ev := range r.drain() {
+			if ev.Kind != EvTaskCreate || ev.Task == 0 {
+				t.Fatalf("torn record drained: %+v", ev)
+			}
+			if seen[ev.Task] {
+				t.Fatalf("record %d drained twice", ev.Task)
+			}
+			seen[ev.Task] = true
+			drained++
+		}
+	}
+	wg.Wait()
+	for _, ev := range r.drain() {
+		if seen[ev.Task] {
+			t.Fatalf("record %d drained twice", ev.Task)
+		}
+		seen[ev.Task] = true
+		drained++
+	}
+	total := appended.Load()
+	if got := uint64(drained) + r.dropped.Load(); got != total {
+		t.Fatalf("accounting: drained %d + dropped %d = %d, want appended %d",
+			drained, r.dropped.Load(), got, total)
+	}
+	if drained == 0 {
+		t.Fatal("nothing drained — the test exercised only the drop path")
+	}
+}
+
+// The collector must route events to per-worker rings, reset them on
+// start, and survive hook calls from workers it has never seen.
+func TestCollectorRoutingAndReset(t *testing.T) {
+	c := newCollector(32, 128)
+	h := c.hooks()
+	c.start()
+	h.TaskCreate(3, 1, TaskDeferred)
+	h.TaskCreate(7, 2, TaskDeferred)
+	h.TaskCreate(NoWorker, 3, TaskDeferred)
+	if got := c.stats().TasksSpawned; got != 3 {
+		t.Fatalf("TasksSpawned = %d, want 3", got)
+	}
+	evs := c.stop()
+	if len(evs) != 3 {
+		t.Fatalf("drained %d events, want 3", len(evs))
+	}
+	workers := map[WorkerID]bool{}
+	for _, ev := range evs {
+		workers[ev.Worker] = true
+	}
+	for _, w := range []WorkerID{3, 7, NoWorker} {
+		if !workers[w] {
+			t.Fatalf("no event for worker %d: %+v", w, evs)
+		}
+	}
+	// start discards anything recorded since the stop.
+	c.recording.Store(true)
+	h.TaskCreate(3, 4, TaskDeferred)
+	c.start()
+	if evs := c.stop(); len(evs) != 0 {
+		t.Fatalf("start did not discard stale records: %d left", len(evs))
+	}
+}
+
+// The ring pool is bounded: workers beyond maxRings fold onto shared
+// rings, so endless cold-spawned teams cannot allocate buffers forever —
+// and folded workers still keep their own identity in the records.
+func TestRingPoolBounded(t *testing.T) {
+	c := newCollector(64, 4)
+	h := c.hooks()
+	c.start()
+	const workers = 40
+	for w := WorkerID(0); w < workers; w++ {
+		h.TaskCreate(w, uint64(w)+1, TaskDeferred)
+	}
+	if n := len(*c.rings.Load()); n > 4 {
+		t.Fatalf("ring pool grew to %d rings, bound is 4", n)
+	}
+	evs := c.stop()
+	ids := map[WorkerID]bool{}
+	for _, ev := range evs {
+		ids[ev.Worker] = true
+	}
+	if len(ids) != workers {
+		t.Fatalf("folded records kept %d distinct worker ids, want %d", len(ids), workers)
+	}
+}
+
+func TestInternNameStable(t *testing.T) {
+	c := newCollector(8, 128)
+	a, b := c.intern("Demo.run"), c.intern("Demo.loop")
+	if a == b {
+		t.Fatal("distinct names share an id")
+	}
+	if c.intern("Demo.run") != a {
+		t.Fatal("intern is not idempotent")
+	}
+	if c.spanName(a) != "Demo.run" || c.spanName(b) != "Demo.loop" {
+		t.Fatalf("spanName round-trip failed: %q %q", c.spanName(a), c.spanName(b))
+	}
+	if c.spanName(999) == "" {
+		t.Fatal("unknown id must resolve to a placeholder, not empty")
+	}
+}

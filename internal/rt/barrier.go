@@ -8,7 +8,10 @@
 // per-object critical locks, task groups and futures.
 package rt
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Barrier is a reusable team barrier with generation counting (equivalent
 // to a sense-reversing barrier). Each call to Wait blocks until all n
@@ -27,6 +30,18 @@ type Barrier struct {
 	parties int
 	arrived int
 	gen     uint64
+
+	// owner is the team the barrier synchronises, set by newTeam; nil for
+	// standalone barriers. Only observability reads it.
+	owner *Team
+}
+
+// ownerID is the team identity carried by barrier trace events.
+func (b *Barrier) ownerID() uint64 {
+	if b.owner != nil {
+		return b.owner.tid
+	}
+	return 0
 }
 
 // NewBarrier creates a barrier for the given number of parties (≥ 1).
@@ -44,6 +59,25 @@ func NewBarrier(parties int) *Barrier {
 // barrier. Returns the generation index that completed, which is useful
 // for tests and phase-counting diagnostics.
 func (b *Barrier) Wait() uint64 {
+	// Instrumented arrival: the depart event carries the nanoseconds this
+	// caller spent blocked, which the trace renders as a wait slice. The
+	// worker lookup and clock reads run only with a tool installed.
+	if h := obsHooks(); h != nil {
+		gid := curGID()
+		if h.BarrierArrive != nil {
+			h.BarrierArrive(gid, b.ownerID())
+		}
+		t0 := time.Now()
+		gen := b.wait()
+		if h.BarrierDepart != nil {
+			h.BarrierDepart(gid, b.ownerID(), time.Since(t0).Nanoseconds())
+		}
+		return gen
+	}
+	return b.wait()
+}
+
+func (b *Barrier) wait() uint64 {
 	b.mu.Lock()
 	gen := b.gen
 	b.arrived++

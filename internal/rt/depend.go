@@ -1,6 +1,10 @@
 package rt
 
-import "sync"
+import (
+	"sync"
+
+	"aomplib/internal/obs"
+)
 
 // This file implements dataflow task scheduling (@Depend): tasks declare
 // in/out/inout clauses on address keys, and the runtime derives the
@@ -226,6 +230,9 @@ func (tr *depTracker) releaseLocked(t *task) {
 	if !t.unpark() {
 		return
 	}
+	if h := obsHooks(); h != nil && h.DepRelease != nil {
+		h.DepRelease(curGID(), t.traceID)
+	}
 	if w := t.spawner; w != nil {
 		w.deque.push(t)
 		t.group.notify()
@@ -251,6 +258,9 @@ func SpawnDep(body func(), d Deps) {
 		g := w.spawnGroup()
 		g.Add(1)
 		t := newTask(body, g, w)
+		if h := obsHooks(); h != nil {
+			stampTask(h, t, w, obs.TaskDependent)
+		}
 		if w.Team.depTracker().enqueue(t, d) {
 			w.deque.push(t)
 			g.notify()
@@ -300,6 +310,9 @@ func SpawnFutureDep(fn func() any, d Deps) *Future {
 		t := &task{fn: resolve, group: g, spawner: w} // retained by f: never pooled
 		t.refs.Store(2)
 		f.task = t
+		if h := obsHooks(); h != nil {
+			stampTask(h, t, w, obs.TaskFutureDependent)
+		}
 		if w.Team.depTracker().enqueue(t, d) {
 			w.deque.push(t)
 			g.notify()

@@ -33,6 +33,7 @@ type task struct {
 	group   *TaskGroup
 	spawner *Worker  // deque that receives the task when released; nil = global scope
 	node    *depNode // dependence bookkeeping; nil for depend-free tasks
+	traceID uint64   // observability identity (flow arrows); 0 with no tool
 	state   atomic.Int32
 	refs    atomic.Int32
 	pooled  bool
@@ -59,8 +60,21 @@ func (t *task) run() bool {
 // exec executes an already-claimed task, guaranteeing — even if the body
 // panics (the panic then propagates to the executing worker, where the
 // region machinery re-raises it on the master) — that the task retires its
-// dependence node, releasing successors, and signals its group.
+// dependence node, releasing successors, and signals its group. Schedule
+// and complete events bracket the execution on the executing context's
+// track; the complete fires after retirement, so dependence-release events
+// order inside the task's slice.
 func (t *task) exec() {
+	if h := obsHooks(); h != nil {
+		gid := curGID()
+		if h.TaskSchedule != nil {
+			h.TaskSchedule(gid, t.traceID)
+		}
+		if h.TaskComplete != nil {
+			id := t.traceID
+			defer h.TaskComplete(gid, id)
+		}
+	}
 	defer t.retire()
 	t.fn()
 }
@@ -80,6 +94,7 @@ func (t *task) retire() {
 func (t *task) decRef() {
 	if t.refs.Add(-1) == 0 && t.pooled {
 		t.fn, t.group, t.spawner, t.node = nil, nil, nil, nil
+		t.traceID = 0
 		t.state.Store(taskReady)
 		taskPool.Put(t)
 	}
@@ -167,6 +182,10 @@ func (w *Worker) findTask() *task {
 	if len(ws) <= 1 {
 		return nil
 	}
+	h := obsHooks()
+	if h != nil && h.StealAttempt != nil {
+		h.StealAttempt(w.gid)
+	}
 	start := int(w.nextRand() % uint64(len(ws)))
 	for i := 0; i < len(ws); i++ {
 		v := ws[(start+i)%len(ws)]
@@ -174,6 +193,9 @@ func (w *Worker) findTask() *task {
 			continue
 		}
 		if t := v.deque.stealTop(); t != nil {
+			if h != nil && h.StealSuccess != nil {
+				h.StealSuccess(w.gid, t.traceID, v.gid)
+			}
 			return t
 		}
 	}

@@ -1,0 +1,63 @@
+package rt
+
+import (
+	"sync/atomic"
+
+	"aomplib/internal/obs"
+)
+
+// Observability wiring. Every emit point in the runtime loads the
+// published hook table once (obsHooks) and skips everything on nil — the
+// disabled path is a single atomic load and a predicted branch, which is
+// what keeps the 0 allocs/op region-entry and task-spawn gates intact with
+// no tool installed. With a tool installed, emit points pass only scalars
+// (ids, sizes, nanoseconds), so the enabled path allocates nothing either.
+
+// obsHooks returns the active tool's hook table, or nil.
+func obsHooks() *obs.Hooks { return obs.Active() }
+
+// workerGIDs hands out process-unique worker identities (trace tracks).
+var workerGIDs atomic.Int32
+
+// teamTIDs hands out process-unique team identities for trace events.
+var teamTIDs atomic.Uint64
+
+// taskTraceIDs hands out task identities for trace flow arrows. Drawn only
+// while a tool is installed, so the disabled spawn path stays untouched.
+var taskTraceIDs atomic.Uint64
+
+func nextTaskTraceID() uint64 { return taskTraceIDs.Add(1) }
+
+// curGID reports the observability identity of the calling goroutine's
+// worker context, or obs.NoWorker outside any region. Only called on
+// enabled emit paths.
+func curGID() obs.WorkerID {
+	if w := Current(); w != nil {
+		return w.gid
+	}
+	return obs.NoWorker
+}
+
+// ObsID reports the worker's process-unique observability identity — the
+// trace track its events land on.
+func (w *Worker) ObsID() obs.WorkerID { return w.gid }
+
+// stampTask assigns t a trace identity and reports its creation to the
+// installed tool. h is non-nil (the caller already gated on it).
+func stampTask(h *obs.Hooks, t *task, w *Worker, kind obs.TaskKind) {
+	if h.TaskCreate != nil {
+		t.traceID = nextTaskTraceID()
+		h.TaskCreate(w.gid, t.traceID, kind)
+	}
+}
+
+// emitInlineTask reports a task that never enters a deque — out-of-region
+// spawns running on their own goroutines.
+func emitInlineTask(h *obs.Hooks) {
+	if h != nil && h.TaskInline != nil {
+		h.TaskInline(curGID(), nextTaskTraceID())
+	}
+}
+
+// ObsID reports the team's process-unique observability identity.
+func (t *Team) ObsID() uint64 { return t.tid }

@@ -1,0 +1,169 @@
+package rt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"aomplib/internal/obs"
+)
+
+// A region exercising every construct must light up the corresponding
+// tracer counters, and the drained trace must be valid Chrome JSON.
+func TestObsEmitCoverage(t *testing.T) {
+	before := obs.ReadStats()
+	obs.StartTrace()
+	defer obs.EnableTracing(false)
+
+	Region(4, func(w *Worker) {
+		if w.ID == 0 {
+			var x, y int
+			SpawnDep(func() { x = 1 }, Deps{Out: []any{&x}})
+			SpawnDep(func() { y = x }, Deps{In: []any{&x}, Out: []any{&y}})
+			for i := 0; i < 32; i++ {
+				Spawn(func() {})
+			}
+		}
+		w.Team.Barrier().Wait()
+		TaskWait()
+	})
+	// Out-of-region spawn: the inline-task path.
+	done := make(chan struct{})
+	Spawn(func() { close(done) })
+	<-done
+
+	st := obs.ReadStats()
+	delta := func(name string, now, then uint64) uint64 {
+		t.Helper()
+		if now <= then {
+			t.Errorf("%s did not advance: %d -> %d", name, then, now)
+		}
+		return now - then
+	}
+	delta("RegionForks", st.RegionForks, before.RegionForks)
+	delta("RegionJoins", st.RegionJoins, before.RegionJoins)
+	delta("TeamLeases", st.TeamLeases, before.TeamLeases)
+	delta("TasksSpawned", st.TasksSpawned, before.TasksSpawned)
+	delta("TasksCompleted", st.TasksCompleted, before.TasksCompleted)
+	delta("TasksInlined", st.TasksInlined, before.TasksInlined)
+	delta("BarrierWaits", st.BarrierWaits, before.BarrierWaits)
+	delta("DepReleases", st.DepReleases, before.DepReleases)
+	delta("StealAttempts", st.StealAttempts, before.StealAttempts)
+	delta("EventsRecorded", st.EventsRecorded, before.EventsRecorded)
+
+	var buf bytes.Buffer
+	if err := obs.StopTrace(&buf); err != nil {
+		t.Fatalf("StopTrace: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace is empty")
+	}
+	tracks := 0
+	for _, ev := range trace.TraceEvents {
+		if ev["name"] == "thread_name" {
+			if args, ok := ev["args"].(map[string]any); ok {
+				if n, _ := args["name"].(string); strings.HasPrefix(n, "worker ") {
+					tracks++
+				}
+			}
+		}
+	}
+	if tracks < 4 {
+		t.Fatalf("trace has %d worker tracks, want >= 4 (one per team worker)", tracks)
+	}
+}
+
+// The pool must attribute cold spawns with hot teams off to the Disabled
+// counter, not Misses.
+func TestPoolStatsDisabledCounter(t *testing.T) {
+	prev := SetHotTeams(false)
+	defer SetHotTeams(prev)
+	before := ReadPoolStats()
+	Region(2, func(w *Worker) {})
+	st := ReadPoolStats()
+	if st.Disabled != before.Disabled+1 {
+		t.Fatalf("Disabled = %d, want %d", st.Disabled, before.Disabled+1)
+	}
+	if st.Misses != before.Misses {
+		t.Fatalf("Misses advanced (%d -> %d) for a disabled-pool entry", before.Misses, st.Misses)
+	}
+}
+
+// A custom tool (SetHooks) must receive events, and EnableTracing(false)
+// must not evict it.
+func TestCustomToolHooks(t *testing.T) {
+	var forks, joins int
+	prev := obs.SetHooks(&obs.Hooks{
+		RegionFork: func(obs.WorkerID, uint64, int, int) { forks++ },
+		RegionJoin: func(obs.WorkerID, uint64, int) { joins++ },
+	})
+	defer obs.SetHooks(prev)
+	Region(2, func(w *Worker) {})
+	if forks != 1 || joins != 1 {
+		t.Fatalf("custom tool saw forks=%d joins=%d, want 1/1", forks, joins)
+	}
+	obs.EnableTracing(false)
+	Region(2, func(w *Worker) {})
+	if forks != 2 {
+		t.Fatalf("EnableTracing(false) evicted the custom tool (forks=%d)", forks)
+	}
+}
+
+// The CI allocation gates for the tracing-enabled emit path: a warm region
+// entry and the task spawn path must stay 0 allocs/op with the tracer
+// installed and recording. Both the ring-append and the buffer-full drop
+// path are allocation-free; a long benchmark run exercises both.
+
+func BenchmarkRegionEntryWarmTraced(b *testing.B) {
+	prev := SetHotTeams(true)
+	defer SetHotTeams(prev)
+	obs.StartTrace()
+	defer obs.EnableTracing(false)
+	b.ReportAllocs()
+	Region(2, func(w *Worker) {}) // warm team + register rings
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&1023 == 0 {
+			// Reset the rings periodically so the gate measures the record
+			// path, not (mostly) the cheaper buffer-full drop path.
+			obs.StartTrace()
+		}
+		Region(2, func(w *Worker) {})
+	}
+}
+
+func BenchmarkTaskSpawnWaitTraced(b *testing.B) {
+	obs.StartTrace()
+	defer obs.EnableTracing(false)
+	b.ReportAllocs()
+	Region(2, func(w *Worker) {
+		if w.ID != 0 {
+			return
+		}
+		var x int
+		body := func() { x++ }
+		Spawn(body)
+		TaskWait() // register rings before the measured loop
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i&4095 == 0 {
+				// Keep the rings drained so spawns measure the record path.
+				obs.StartTrace()
+			}
+			Spawn(body)
+			if i&63 == 63 {
+				TaskWait()
+			}
+		}
+		TaskWait()
+		b.StopTimer()
+		_ = x
+	})
+}

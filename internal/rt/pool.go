@@ -53,6 +53,7 @@ var (
 	statLeases   atomic.Uint64
 	statHits     atomic.Uint64
 	statMisses   atomic.Uint64
+	statDisabled atomic.Uint64
 	statRetired  atomic.Uint64
 	statEvicted  atomic.Uint64
 	statRecycled atomic.Uint64
@@ -65,6 +66,7 @@ type PoolStats struct {
 	Leases   uint64 // region entries
 	Hits     uint64 // entries served by a cached team
 	Misses   uint64 // entries that cold-spawned with hot teams enabled
+	Disabled uint64 // entries that cold-spawned because hot teams were off
 	Recycled uint64 // clean entries that returned their team to the pool
 	Retired  uint64 // teams destroyed after a panic or a dead worker
 	Evicted  uint64 // healthy teams dropped: pool full, shrunk, or disabled
@@ -80,6 +82,7 @@ func ReadPoolStats() PoolStats {
 		Leases:   statLeases.Load(),
 		Hits:     statHits.Load(),
 		Misses:   statMisses.Load(),
+		Disabled: statDisabled.Load(),
 		Recycled: statRecycled.Load(),
 		Retired:  statRetired.Load(),
 		Evicted:  statEvicted.Load(),
@@ -227,17 +230,28 @@ func drainPool() {
 // spawn — so nested leases cannot deadlock by construction.
 func acquireTeam(n int) *Team {
 	statLeases.Add(1)
+	hit := false
+	var t *Team
 	if HotTeamsEnabled() {
 		poolMu.Lock()
-		t := popSizeLocked(n)
+		t = popSizeLocked(n)
 		poolMu.Unlock()
 		if t != nil {
 			statHits.Add(1)
-			return t
+			hit = true
+		} else {
+			statMisses.Add(1)
 		}
-		statMisses.Add(1)
+	} else {
+		statDisabled.Add(1)
 	}
-	return newTeam(n)
+	if t == nil {
+		t = newTeam(n)
+	}
+	if h := obsHooks(); h != nil && h.TeamLease != nil {
+		h.TeamLease(curGID(), t.tid, n, hit)
+	}
+	return t
 }
 
 // releaseTeam parks a cleanly-finished team in the pool, or destroys it

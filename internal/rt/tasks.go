@@ -1,6 +1,10 @@
 package rt
 
-import "sync"
+import (
+	"sync"
+
+	"aomplib/internal/obs"
+)
 
 // TaskGroup tracks asynchronous activities spawned by the @Task and
 // @FutureTask constructs. Unlike sync.WaitGroup it tolerates Add after a
@@ -251,6 +255,9 @@ func Spawn(body func()) {
 		g := w.spawnGroup()
 		g.Add(1)
 		t := newTask(body, g, w)
+		if h := obsHooks(); h != nil {
+			stampTask(h, t, w, obs.TaskDeferred)
+		}
 		w.deque.push(t)
 		g.notify()
 		// The team may have completed (and drained) between the check
@@ -267,6 +274,7 @@ func Spawn(body func()) {
 		t.decRef()
 		return
 	}
+	emitInlineTask(obsHooks())
 	globalTasks.Add(1)
 	go func() {
 		defer globalTasks.Done()
@@ -313,6 +321,9 @@ func SpawnFuture(fn func() any) *Future {
 		t := &task{fn: resolve, group: g, spawner: w} // retained by f: never pooled
 		t.refs.Store(2)
 		f.task = t
+		if h := obsHooks(); h != nil {
+			stampTask(h, t, w, obs.TaskFuture)
+		}
 		w.deque.push(t)
 		g.notify()
 		if w.Team.completed.Load() && t.claim() {
@@ -320,6 +331,7 @@ func SpawnFuture(fn func() any) *Future {
 		}
 		return f
 	}
+	emitInlineTask(obsHooks())
 	globalTasks.Add(1)
 	go func() {
 		defer globalTasks.Done()

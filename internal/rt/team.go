@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"aomplib/internal/gls"
+	"aomplib/internal/obs"
 )
 
 // current holds the per-goroutine stack of worker contexts. Parallel
@@ -115,6 +116,9 @@ type Team struct {
 	// Size is the number of workers (master included). It is fixed for
 	// the team's lifetime and is the pool's cache key.
 	Size int
+	// tid is the team's process-unique observability identity, carried by
+	// every trace event the team's lifecycle emits.
+	tid uint64
 	// level is the region nesting depth of the current lease (outermost
 	// region = 1). Atomic — with hot teams it is rewritten per lease, and
 	// goroutines that outlived an earlier lease may still query it
@@ -179,6 +183,9 @@ type instanceSlot struct {
 type Worker struct {
 	ID   int
 	Team *Team
+	// gid is the worker's process-unique observability identity — the
+	// trace track its events land on. Stable across leases.
+	gid obs.WorkerID
 
 	deque deque         // pending deferred tasks (stealable by siblings)
 	rng   atomic.Uint64 // steal-victim selection state
@@ -316,6 +323,9 @@ func RegionArg(n int, body func(w *Worker, arg any), arg any) {
 	}
 	t := acquireTeam(n)
 	t.beginLease(parent, level, body, arg)
+	if h := obsHooks(); h != nil && h.RegionFork != nil {
+		h.RegionFork(t.workers[0].gid, t.tid, level, n)
+	}
 	finished := false
 	defer func() {
 		if !finished {
@@ -330,6 +340,7 @@ func RegionArg(n int, body func(w *Worker, arg any), arg any) {
 			// and leave completed=false on an undrainable team.
 			defer func() {
 				t.completed.Store(true)
+				t.emitRegionJoin(level)
 				t.endLease()
 				retireTeam(t)
 			}()
@@ -345,6 +356,7 @@ func RegionArg(n int, body func(w *Worker, arg any), arg any) {
 	t.drainStragglers(t.workers[0])
 	finished = true
 	t.completed.Store(true)
+	t.emitRegionJoin(level)
 	t.panicMu.Lock()
 	panicked, panicVal := t.panicked, t.panicVal
 	t.panicMu.Unlock()
@@ -356,6 +368,13 @@ func RegionArg(n int, body func(w *Worker, arg any), arg any) {
 	}
 	if panicked {
 		panic(panicVal)
+	}
+}
+
+// emitRegionJoin reports the region's full join to an installed tool.
+func (t *Team) emitRegionJoin(level int) {
+	if h := obsHooks(); h != nil && h.RegionJoin != nil {
+		h.RegionJoin(t.workers[0].gid, t.tid, level)
 	}
 }
 
@@ -431,6 +450,16 @@ func (t *Team) runWorker(w *Worker) {
 		current.Restore(tok)
 		glsContexts.Add(-1)
 	}()
+	if h := obsHooks(); h != nil {
+		// The end emit is deferred so a panicking or Goexit-ing share still
+		// closes its slice; the drain tolerates the missing end either way.
+		if h.ImplicitBegin != nil {
+			h.ImplicitBegin(w.gid, t.tid, t.Level())
+		}
+		if h.ImplicitEnd != nil {
+			defer h.ImplicitEnd(w.gid, t.tid)
+		}
+	}
 	t.body(w, t.arg)
 	// Implicit region-end join for deferred tasks: each worker helps
 	// execute queued tasks (its own, then stolen) until none remain
@@ -510,9 +539,11 @@ func (t *Team) drainStragglers(master *Worker) {
 func newTeam(n int) *Team {
 	t := &Team{
 		Size:    n,
+		tid:     teamTIDs.Add(1),
 		barrier: NewBarrier(n),
 		workers: make([]*Worker, n),
 	}
+	t.barrier.owner = t
 	for i := 0; i < n; i++ {
 		t.workers[i] = newWorker(i, t)
 	}
@@ -531,13 +562,16 @@ func (t *Team) destroy() {
 		return
 	}
 	t.retired = true
+	if h := obsHooks(); h != nil && h.TeamRetire != nil {
+		h.TeamRetire(t.tid, t.Size)
+	}
 	for _, w := range t.workers[1:] {
 		close(w.wake)
 	}
 }
 
 func newWorker(id int, t *Team) *Worker {
-	w := &Worker{ID: id, Team: t}
+	w := &Worker{ID: id, Team: t, gid: obs.WorkerID(workerGIDs.Add(1) - 1)}
 	w.rng.Store(uint64(id)*0x9e3779b97f4a7c15 + 0x1234567887654321)
 	w.slot = current.NewSlot(w)
 	return w

@@ -67,6 +67,9 @@ func BeginFor(w *Worker, key any, sp sched.Space, kind sched.Kind, chunk int) *F
 	*fc = ForContext{Space: sp, Kind: shared.kind, Worker: w, shared: shared}
 	w.activeFor = append(w.activeFor, fc)
 	w.Team.Release(forKey{key}, enc)
+	if h := obsHooks(); h != nil && h.WorkBegin != nil {
+		h.WorkBegin(w.gid, w.Team.tid, uint8(shared.kind))
+	}
 	return fc
 }
 
@@ -77,6 +80,9 @@ func (fc *ForContext) EndFor() {
 		w.activeFor = w.activeFor[:n-1]
 		fc.shared = nil
 		w.fcFree = append(w.fcFree, fc)
+		if h := obsHooks(); h != nil && h.WorkEnd != nil {
+			h.WorkEnd(w.gid, w.Team.tid)
+		}
 	}
 }
 
