@@ -118,15 +118,19 @@ var MustParsePointcut = pointcut.MustParse
 type Schedule = sched.Kind
 
 // Work-sharing schedules (paper Table 1: staticBlock, staticCyclic,
-// dynamic; guided, auto, runtime and case-specific are the documented
-// extensions). Auto picks StaticBlock or Guided per encounter from the
-// trip count and team size; Runtime resolves to the process-wide default
-// set with SetDefaultSchedule (the OMP_SCHEDULE analogue).
+// dynamic; guided, steal, auto, runtime and case-specific are the
+// documented extensions). Auto picks StaticBlock or Guided per encounter
+// from the trip count and team size; Runtime resolves to the process-wide
+// default set with SetDefaultSchedule (the OMP_SCHEDULE analogue). Steal
+// carves one contiguous range per worker and lets workers that run dry
+// steal half a loaded sibling's remainder (the nonmonotonic:dynamic
+// analogue): dynamic-grade balancing with static-grade dispensing cost.
 const (
 	StaticBlock  = sched.StaticBlock
 	StaticCyclic = sched.StaticCyclic
 	Dynamic      = sched.Dynamic
 	Guided       = sched.Guided
+	Steal        = sched.Steal
 	CaseSpecific = sched.Custom
 	Auto         = sched.Auto
 	Runtime      = sched.Runtime

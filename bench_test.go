@@ -266,6 +266,26 @@ func BenchmarkOverhead_RegionEntryTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkOverhead_CriticalNamed measures a steady-state woven
+// @Critical(id=...) entry. The advice resolves the named lock once at
+// weave time and caches it in the binding, so per-entry cost is one
+// pointer load plus the lock round trip — the registry (sharded, see
+// internal/rt/locks.go) is never touched here, and the path must stay
+// allocation-free.
+func BenchmarkOverhead_CriticalNamed(b *testing.B) {
+	p := aomplib.NewProgram("bench")
+	var sink int
+	f := p.Class("A").Proc("m", func() { sink++ })
+	p.Use(aomplib.CriticalSection("call(* A.m(..))").ID("shared"))
+	p.MustWeave()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f()
+	}
+	_ = sink
+}
+
 // BenchmarkOverhead_PointcutMatch measures pointcut evaluation (weave-time
 // cost only; never paid at run time).
 func BenchmarkOverhead_PointcutMatch(b *testing.B) {
@@ -319,6 +339,9 @@ func BenchmarkAblation_Schedule_Dynamic16(b *testing.B) {
 }
 func BenchmarkAblation_Schedule_Guided(b *testing.B) {
 	benchScheduleAblation(b, sched.Guided, 1)
+}
+func BenchmarkAblation_Schedule_Steal(b *testing.B) {
+	benchScheduleAblation(b, sched.Steal, 16)
 }
 
 // BenchmarkAblation_Barrier measures the team barrier round trip.

@@ -186,7 +186,7 @@ func main() {
 		"record the whole run and write a Chrome trace (load at ui.perfetto.dev) to this file")
 	schedule := flag.String("schedule", "",
 		"process-wide default schedule resolved by @For(schedule=runtime) constructs\n"+
-			"(staticBlock, staticCyclic, dynamic, guided, auto)")
+			"(staticBlock, staticCyclic, dynamic, guided, steal, auto)")
 	hotTeams := flag.Bool("hotteams", true, "reuse pooled worker teams across region entries")
 	flag.Parse()
 

@@ -60,12 +60,15 @@ func (a *ForAspect) Wait() *ForAspect { tr := true; a.wait = &tr; return a }
 
 // implicitBarrier decides the end-of-construct barrier for the schedule an
 // encounter resolved to (Auto and Runtime resolve per encounter, so the
-// decision cannot be precomputed from the declared kind).
+// decision cannot be precomputed from the declared kind). Steal barriers
+// like dynamic: workers finish at data-dependent points after range
+// migration, so code after the construct may not assume its own static
+// share ran last.
 func (a *ForAspect) implicitBarrier(k sched.Kind) bool {
 	if a.wait != nil {
 		return *a.wait
 	}
-	return k == sched.Dynamic || k == sched.Guided
+	return k == sched.Dynamic || k == sched.Guided || k == sched.Steal
 }
 
 // AspectName implements weaver.Aspect.
@@ -123,6 +126,14 @@ func (a *ForAspect) Bindings() []weaver.Binding {
 					for _, sub := range a.custom(w.ID, w.Team.Size, sp) {
 						runSub(sub)
 					}
+				case sched.Steal:
+					for {
+						sub, ok := fc.DispenseSteal()
+						if !ok {
+							break
+						}
+						runSub(sub)
+					}
 				default: // Dynamic, Guided
 					for {
 						sub, ok := fc.Dispense()
@@ -135,7 +146,7 @@ func (a *ForAspect) Bindings() []weaver.Binding {
 				weaver.PutCall(sc)
 				fc.EndFor()
 				if a.implicitBarrier(k) {
-					w.Team.Barrier().Wait()
+					w.Team.Barrier().WaitWorker(w)
 				}
 			}
 		},

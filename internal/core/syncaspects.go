@@ -57,11 +57,11 @@ func (a *BarrierAspect) Bindings() []weaver.Binding {
 					return
 				}
 				if a.before {
-					c.Worker.Team.Barrier().Wait()
+					c.Worker.Team.Barrier().WaitWorker(c.Worker)
 				}
 				next(c)
 				if a.after {
-					c.Worker.Team.Barrier().Wait()
+					c.Worker.Team.Barrier().WaitWorker(c.Worker)
 				}
 			}
 		},
@@ -145,6 +145,9 @@ func (a *CriticalAspect) Bindings() []weaver.Binding {
 		wrap: func(jp *weaver.Joinpoint, next weaver.HandlerFunc) weaver.HandlerFunc {
 			switch a.mode {
 			case criticalNamed:
+				// Resolved once per weave and cached in the binding:
+				// steady-state critical entries do one pointer load and
+				// never touch the (sharded) registry.
 				l := rt.NamedLock(a.id)
 				return func(c *weaver.Call) {
 					l.Lock()

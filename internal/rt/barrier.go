@@ -9,7 +9,9 @@
 package rt
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,20 +23,81 @@ import (
 // between generations (all waits paired), so no reset is needed at lease
 // boundaries.
 //
+// Arrivals are counted on a fan-in tree of cache-line-padded atomic
+// counters instead of a mutex: workers of the owning team arrive at the
+// leaf covering their id, the last arriver of each leaf group propagates
+// one batched count to the root, and the last root arriver publishes the
+// next generation — so a phase costs each worker one or two uncontended
+// RMWs instead of a serialised lock acquisition. Waiters spin on the
+// generation word for an adaptively bounded interval (sized by where
+// recent phases were observed to complete) and park on a condition
+// variable only when a phase overruns it, so short compute phases never
+// pay a scheduler round trip and long ones never burn a core.
+//
+// The counters are monotonic and the release check is modular, so no
+// per-generation reset exists to race with the next phase's arrivals, and
+// the generation counter wraps around uint64 without disturbing arrival
+// accounting.
+//
 // Its scope is one team of threads, matching the paper: "The barrier has
 // the scope of a team of threads, in a way similar to OpenMP (this
 // contrasts with @Critical whose scope is all threads in the system)."
 type Barrier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
 	parties int
-	arrived int
-	gen     uint64
+
+	// gen is the release word every waiter spins on; alone on its line so
+	// arrival RMW traffic does not invalidate it between releases.
+	gen atomic.Uint64
+	_   [56]byte
+
+	// Arrival tree. leaves[i] counts arrivals of worker ids
+	// [i*barrierFanIn, (i+1)*barrierFanIn); quota[i] is that group's width.
+	// nil when parties <= barrierFanIn — arrivals then go straight to the
+	// root, which always counts in units of parties per generation.
+	// Arrivals without a worker id (standalone barriers, goroutines outside
+	// the owning team) also count directly on the root, one unit each.
+	leaves []barrierNode
+	quota  []int64
+	root   barrierNode
+
+	// spin is the adaptive spin bound in loop iterations, resized toward
+	// twice the iteration recent releases were observed at and halved on
+	// every park. Races on it are benign tuning noise.
+	spin atomic.Int32
+
+	// parked counts waiters committed to sleeping; the releaser takes the
+	// broadcast mutex only when it is non-zero, so the spin-release fast
+	// path never touches mu.
+	parked atomic.Int32
+	mu     sync.Mutex
+	cond   *sync.Cond
 
 	// owner is the team the barrier synchronises, set by newTeam; nil for
-	// standalone barriers. Only observability reads it.
+	// standalone barriers. Worker-id arrival routing and observability
+	// read it.
 	owner *Team
 }
+
+// barrierNode is one fan-in counter, padded to a cache line so sibling
+// groups do not false-share.
+type barrierNode struct {
+	count atomic.Int64
+	_     [56]byte
+}
+
+const (
+	// barrierFanIn is the arrival-tree arity: up to this many workers
+	// share one leaf counter.
+	barrierFanIn = 4
+
+	barrierSpinMin  = 64      // never spin less: a release often lands within nanoseconds
+	barrierSpinMax  = 1 << 15 // never spin more: beyond ~tens of µs, parking is cheaper
+	barrierSpinInit = 1 << 10
+	// barrierYieldMask: Gosched every so many spin iterations, so
+	// oversubscribed teams (more workers than Ps) cannot starve the
+	// arrivals that would release them.
+	barrierYieldMask = 63
+)
 
 // ownerID is the team identity carried by barrier trace events.
 func (b *Barrier) ownerID() uint64 {
@@ -51,48 +114,159 @@ func NewBarrier(parties int) *Barrier {
 	}
 	b := &Barrier{parties: parties}
 	b.cond = sync.NewCond(&b.mu)
+	b.spin.Store(barrierSpinInit)
+	if parties > barrierFanIn {
+		groups := (parties + barrierFanIn - 1) / barrierFanIn
+		b.leaves = make([]barrierNode, groups)
+		b.quota = make([]int64, groups)
+		for g := range b.quota {
+			width := parties - g*barrierFanIn
+			if width > barrierFanIn {
+				width = barrierFanIn
+			}
+			b.quota[g] = int64(width)
+		}
+	}
 	return b
 }
 
 // Wait blocks the caller until all parties have called Wait for the
-// current generation. The last arriver releases everyone and resets the
-// barrier. Returns the generation index that completed, which is useful
-// for tests and phase-counting diagnostics.
+// current generation. The last arriver releases everyone and the barrier
+// implicitly resets for the next phase. Returns the generation index that
+// completed, which is useful for tests and phase-counting diagnostics.
+//
+// When the calling goroutine carries a worker context of the barrier's
+// owning team, the arrival is routed through that worker's leaf of the
+// fan-in tree; any other caller arrives anonymously at the root. On
+// standalone barriers (NewBarrier — no owning team, so every arrival is
+// anonymous) any `parties` arrivals complete a generation, exactly as
+// before. On a *team* barrier wide enough to have a tree (parties >
+// fan-in), each team worker must arrive through its own worker context:
+// an anonymous arrival standing in for an absent worker leaves that
+// worker's leaf short of quota and the phase never completes. Arriving
+// at a team barrier from outside the team was already undefined under
+// the work-sharing contract (see Team.beginLease); this makes the one
+// previously-accidental shape of it — substituted arrivals — explicitly
+// unsupported.
 func (b *Barrier) Wait() uint64 {
-	// Instrumented arrival: the depart event carries the nanoseconds this
-	// caller spent blocked, which the trace renders as a wait slice. The
-	// worker lookup and clock reads run only with a tool installed.
+	return b.waitTimed(b.slotOf(Current()))
+}
+
+// WaitWorker is Wait for call sites that already hold the worker context
+// (the woven constructs), skipping the goroutine-local lookup.
+func (b *Barrier) WaitWorker(w *Worker) uint64 {
+	return b.waitTimed(b.slotOf(w))
+}
+
+// slotOf maps a worker to its arrival id, or -1 for anonymous arrivals.
+func (b *Barrier) slotOf(w *Worker) int {
+	if w != nil && w.Team != nil && w.Team.barrier == b {
+		return w.ID
+	}
+	return -1
+}
+
+// waitTimed wraps the wait with the instrumented arrival: the depart event
+// carries the nanoseconds this caller spent blocked, which the trace
+// renders as a wait slice. The worker lookup and clock reads run only with
+// a tool installed.
+func (b *Barrier) waitTimed(id int) uint64 {
 	if h := obsHooks(); h != nil {
 		gid := curGID()
 		if h.BarrierArrive != nil {
 			h.BarrierArrive(gid, b.ownerID())
 		}
 		t0 := time.Now()
-		gen := b.wait()
+		gen := b.wait(id)
 		if h.BarrierDepart != nil {
 			h.BarrierDepart(gid, b.ownerID(), time.Since(t0).Nanoseconds())
 		}
 		return gen
 	}
-	return b.wait()
+	return b.wait(id)
 }
 
-func (b *Barrier) wait() uint64 {
-	b.mu.Lock()
-	gen := b.gen
-	b.arrived++
-	if b.arrived == b.parties {
-		b.arrived = 0
-		b.gen++
+func (b *Barrier) wait(id int) uint64 {
+	g := b.gen.Load()
+	if b.arrive(id) {
+		b.release()
+	} else {
+		b.await(g)
+	}
+	return g
+}
+
+// arrive counts one arrival, reporting whether the caller completed the
+// generation (and must release). Worker arrivals (id ≥ 0) climb the tree:
+// the group's last arriver forwards the whole group count to the root in
+// one add. All counters are monotonic; modular checks detect the last
+// arrival, so generations need no reset and arrivals for the next phase —
+// which cannot start before this release — reuse the same counters.
+func (b *Barrier) arrive(id int) bool {
+	add := int64(1)
+	if id >= 0 && b.leaves != nil {
+		leaf := id / barrierFanIn
+		q := b.quota[leaf]
+		if b.leaves[leaf].count.Add(1)%q != 0 {
+			return false
+		}
+		add = q
+	}
+	return b.root.count.Add(add)%int64(b.parties) == 0
+}
+
+// release publishes the next generation and wakes parked waiters. The
+// parked load is ordered after the generation store (sequentially
+// consistent atomics), pairing with await's parked-increment-then-check,
+// so a waiter committing to sleep is either seen here or sees the new
+// generation itself.
+func (b *Barrier) release() {
+	b.gen.Add(1)
+	if b.parked.Load() != 0 {
+		b.mu.Lock()
 		b.cond.Broadcast()
 		b.mu.Unlock()
-		return gen
 	}
-	for gen == b.gen {
+}
+
+// await blocks until generation g completes: first an adaptively bounded
+// spin on the generation word, then a parked sleep. The bound chases the
+// iteration recent releases arrived at (doubled for slack, clamped) so
+// phase-per-microsecond loops stay on the spin path while long compute
+// phases shrink the bound and park almost immediately.
+func (b *Barrier) await(g uint64) {
+	bound := int(b.spin.Load())
+	for i := 0; i < bound; i++ {
+		if b.gen.Load() != g {
+			// Released while spinning: retune only on real drift so the
+			// steady state does not write-share the bound.
+			if want := clampSpin(2 * (i + 1)); want > bound || want < bound/4 {
+				b.spin.Store(int32(want))
+			}
+			return
+		}
+		if i&barrierYieldMask == barrierYieldMask {
+			runtime.Gosched()
+		}
+	}
+	b.spin.Store(int32(clampSpin(bound / 2)))
+	b.parked.Add(1)
+	b.mu.Lock()
+	for b.gen.Load() == g {
 		b.cond.Wait()
 	}
 	b.mu.Unlock()
-	return gen
+	b.parked.Add(-1)
+}
+
+func clampSpin(n int) int {
+	if n < barrierSpinMin {
+		return barrierSpinMin
+	}
+	if n > barrierSpinMax {
+		return barrierSpinMax
+	}
+	return n
 }
 
 // Parties returns the number of workers the barrier synchronises.

@@ -17,7 +17,19 @@ type ForContext struct {
 	Kind   sched.Kind
 	Worker *Worker
 	shared *forShared
+
+	// batchLo/batchHi are the worker-locally claimed but not yet dispensed
+	// iteration indices of a dynamic batch: Dispense claims several chunks
+	// from the shared cursor in one CAS and serves them from here, so the
+	// observable chunk granularity is unchanged while the team-shared
+	// cursor is touched a fraction as often.
+	batchLo, batchHi int64
 }
+
+// dispenseBatchChunks is how many dynamic chunks one shared-cursor CAS
+// claims (away from the loop tail, where NextBatch backs off to single
+// chunks so the last work still balances).
+const dispenseBatchChunks = 4
 
 // forShared is the team-shared state of one for-construct encounter.
 type forShared struct {
@@ -26,8 +38,9 @@ type forShared struct {
 	// arriving worker, and shared here — so a concurrent change of the
 	// process-wide default can never split one encounter across two
 	// schedules (which would desynchronise the implicit barrier).
-	kind sched.Kind
-	disp *sched.Dispenser // dynamic/guided only
+	kind  sched.Kind
+	disp  *sched.Dispenser      // dynamic/guided only
+	sdisp *sched.StealDispenser // steal only
 
 	// ordered sequencing: next loop value whose ordered section may run.
 	omu   sync.Mutex
@@ -52,8 +65,11 @@ func BeginFor(w *Worker, key any, sp sched.Space, kind sched.Kind, chunk int) *F
 	shared := w.Team.Instance(forKey{key}, enc, func() any {
 		k := sched.Resolve(kind, sp.Count(), w.Team.Size)
 		fs := &forShared{kind: k, onext: sp.Lo}
-		if k == sched.Dynamic || k == sched.Guided {
+		switch k {
+		case sched.Dynamic, sched.Guided:
 			fs.disp = sched.NewDispenser(sp, chunk, k == sched.Guided, w.Team.Size)
+		case sched.Steal:
+			fs.sdisp = sched.NewStealDispenser(sp, chunk, w.Team.Size)
 		}
 		return fs
 	}).(*forShared)
@@ -97,8 +113,50 @@ func (w *Worker) ActiveFor() *ForContext {
 
 // Dispense draws the next chunk for dynamic/guided schedules, returning it
 // as a sub-space. ok is false when the iteration space is exhausted.
+// Dynamic chunks are drawn through a worker-local batch (several chunks
+// claimed per shared-cursor CAS, served one chunk at a time from the
+// ForContext); guided claims are served whole, as before, since guided
+// sizing self-batches.
 func (fc *ForContext) Dispense() (sched.Space, bool) {
-	from, to, ok := fc.shared.disp.Next()
+	d := fc.shared.disp
+	if fc.batchLo >= fc.batchHi {
+		from, to, ok := d.NextBatch(dispenseBatchChunks)
+		if !ok {
+			return sched.Space{}, false
+		}
+		fc.batchLo, fc.batchHi = from, to
+	}
+	from := fc.batchLo
+	to := fc.batchHi
+	if fc.shared.kind != sched.Guided {
+		if c := from + d.ChunkSize(); c < to {
+			to = c
+		}
+	}
+	fc.batchLo = to
+	return fc.Space.Slice(int(from), int(to)), true
+}
+
+// DispenseSteal draws the next chunk for the steal schedule: from the
+// worker's own statically carved range while it lasts, then from ranges
+// stolen off loaded siblings. Steals are reported to an installed tool
+// through the same steal hooks task stealing uses; a fruitless scan
+// reports a bare attempt.
+func (fc *ForContext) DispenseSteal() (sched.Space, bool) {
+	w := fc.Worker
+	from, to, victim, ok := fc.shared.sdisp.Next(w.ID)
+	if victim >= 0 || !ok {
+		if h := obsHooks(); h != nil {
+			if h.StealAttempt != nil {
+				h.StealAttempt(w.gid)
+			}
+			if victim >= 0 && victim < len(w.Team.workers) && h.StealSuccess != nil {
+				// Loop-range steals have no task identity; 0 marks them in
+				// the shared steal event stream.
+				h.StealSuccess(w.gid, 0, w.Team.workers[victim].gid)
+			}
+		}
+	}
 	if !ok {
 		return sched.Space{}, false
 	}

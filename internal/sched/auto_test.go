@@ -11,6 +11,7 @@ func TestKindStringCoversAllKinds(t *testing.T) {
 		StaticCyclic: "staticCyclic",
 		Dynamic:      "dynamic",
 		Guided:       "guided",
+		Steal:        "steal",
 		Custom:       "caseSpecific",
 		Auto:         "auto",
 		Runtime:      "runtime",
@@ -100,9 +101,48 @@ func TestResolveRuntimeAndAuto(t *testing.T) {
 			t.Errorf("Resolve(Auto, %d, %d) = %v, want %v", c.count, c.nthreads, got, c.want)
 		}
 	}
-	for _, k := range []Kind{StaticBlock, StaticCyclic, Dynamic, Guided, Custom} {
+	for _, k := range []Kind{StaticBlock, StaticCyclic, Dynamic, Guided, Steal, Custom} {
 		if got := Resolve(k, 5, 2); got != k {
 			t.Errorf("Resolve(%v) rewrote a concrete kind to %v", k, got)
 		}
+	}
+}
+
+// TestResolveAutoBoundaryTripCounts pins Auto's decision at the degenerate
+// trip counts the heuristic's comparison sits on: empty loops, single
+// iterations, and exactly one iteration per worker must all stay static —
+// chunk dispensing can never pay for itself there — and the first count
+// that clears the per-worker threshold flips to guided.
+func TestResolveAutoBoundaryTripCounts(t *testing.T) {
+	cases := []struct {
+		count, nthreads int
+		want            Kind
+	}{
+		{count: 0, nthreads: 1, want: StaticBlock},
+		{count: 0, nthreads: 8, want: StaticBlock},
+		{count: 1, nthreads: 1, want: StaticBlock},
+		{count: 1, nthreads: 8, want: StaticBlock},
+		{count: 8, nthreads: 8, want: StaticBlock}, // n == team size
+		{count: 8*autoGuidedMin - 1, nthreads: 8, want: StaticBlock},
+		{count: 8 * autoGuidedMin, nthreads: 8, want: Guided},
+		{count: 1 << 20, nthreads: 0, want: StaticBlock}, // degenerate team
+	}
+	for _, c := range cases {
+		if got := Resolve(Auto, c.count, c.nthreads); got != c.want {
+			t.Errorf("Resolve(Auto, %d, %d) = %v, want %v", c.count, c.nthreads, got, c.want)
+		}
+	}
+}
+
+// TestResolveStealOverflowFallsBack pins the packed-range guard: loops
+// whose trip count cannot be packed into 32-bit bounds resolve to Dynamic
+// (uniformly across a team — Resolve is pure), everything below passes
+// through.
+func TestResolveStealOverflowFallsBack(t *testing.T) {
+	if got := Resolve(Steal, stealMaxCount, 4); got != Steal {
+		t.Errorf("Resolve(Steal, max, 4) = %v, want Steal", got)
+	}
+	if got := Resolve(Steal, stealMaxCount+1, 4); got != Dynamic {
+		t.Errorf("Resolve(Steal, max+1, 4) = %v, want Dynamic fallback", got)
 	}
 }

@@ -26,6 +26,14 @@ const (
 	// Guided hands out exponentially shrinking chunks (remaining/2N,
 	// floored at the chunk size).
 	Guided
+	// Steal carves one contiguous iteration range per worker statically —
+	// the StaticBlock partition — and lets workers that exhaust their range
+	// steal half the remainder of a loaded sibling (LLVM's static_steal;
+	// OpenMP 5's nonmonotonic:dynamic permits exactly this reordering).
+	// Owners draw chunks from their own cache line, so the per-chunk CAS
+	// of Dynamic never becomes a team-wide contention point; balancing
+	// costs one extra CAS only when a range actually runs dry.
+	Steal
 	// Custom delegates to a user ScheduleFunc (case-specific schedule).
 	Custom
 	// Auto picks a concrete schedule per construct encounter from the
@@ -53,6 +61,8 @@ func (k Kind) String() string {
 		return "dynamic"
 	case Guided:
 		return "guided"
+	case Steal:
+		return "steal"
 	case Custom:
 		return "caseSpecific"
 	case Auto:
@@ -67,7 +77,7 @@ func (k Kind) String() string {
 // Kinds lists every named schedule in declaration order, for flag help
 // and parser errors.
 func Kinds() []Kind {
-	return []Kind{StaticBlock, StaticCyclic, Dynamic, Guided, Custom, Auto, Runtime}
+	return []Kind{StaticBlock, StaticCyclic, Dynamic, Guided, Steal, Custom, Auto, Runtime}
 }
 
 // ParseKind resolves a schedule name — as produced by Kind.String,
@@ -97,7 +107,7 @@ func Default() Kind { return Kind(defaultKind.Load()) }
 // required ScheduleFunc through a process-wide knob) are rejected.
 func SetDefault(k Kind) (Kind, error) {
 	switch k {
-	case StaticBlock, StaticCyclic, Dynamic, Guided, Auto:
+	case StaticBlock, StaticCyclic, Dynamic, Guided, Steal, Auto:
 		return Kind(defaultKind.Swap(int32(k))), nil
 	case Runtime:
 		return Default(), fmt.Errorf("sched: runtime cannot be its own default")
@@ -127,6 +137,13 @@ func Resolve(k Kind, count, nthreads int) Kind {
 			return StaticBlock
 		}
 		return Guided
+	}
+	if k == Steal && count > stealMaxCount {
+		// The steal dispenser packs (lo, hi) iteration indices into one
+		// 64-bit word (32 bits each) so ranges split with a single CAS;
+		// loops too long for that fall back to the chunked dispenser.
+		// Pure function of the trip count, so a team resolves uniformly.
+		return Dynamic
 	}
 	return k
 }
@@ -175,9 +192,14 @@ func Cyclic(sp Space, nthreads, id int) Space {
 // Dispenser is the shared state behind Dynamic and Guided scheduling: a
 // single atomic cursor over iteration-index space that workers draw chunks
 // from. One Dispenser instance is shared by the whole team per construct
-// encounter (the runtime layer manages instance identity).
+// encounter (the runtime layer manages instance identity). The cursor sits
+// on its own cache line: every worker of the team CASes it, and sharing a
+// line with the read-only bounds would drag those reads into the coherence
+// storm.
 type Dispenser struct {
-	next     atomic.Int64
+	next atomic.Int64
+	_    [56]byte // rest of the cursor's cache line
+	// Immutable after NewDispenser; read-shared without contention.
 	total    int64
 	chunk    int64
 	guided   bool
@@ -205,6 +227,17 @@ func NewDispenser(sp Space, chunk int, guided bool, nthreads int) *Dispenser {
 // Next reserves the next chunk, returning iteration-index bounds [from, to).
 // ok is false when the space is exhausted.
 func (d *Dispenser) Next() (from, to int64, ok bool) {
+	return d.NextBatch(1)
+}
+
+// NextBatch reserves up to maxChunks consecutive chunks with one CAS,
+// returning iteration-index bounds [from, to). Callers dispense the batch
+// locally in ChunkSize pieces, so the observable chunk granularity is
+// unchanged while the shared cursor is touched maxChunks times less often.
+// Batching backs off to single chunks near the tail (when fewer than one
+// batch per worker remains) so the last chunks still balance; guided
+// sizing already self-batches and ignores maxChunks.
+func (d *Dispenser) NextBatch(maxChunks int) (from, to int64, ok bool) {
 	for {
 		cur := d.next.Load()
 		if cur >= d.total {
@@ -214,6 +247,10 @@ func (d *Dispenser) Next() (from, to int64, ok bool) {
 		if d.guided {
 			if g := (d.total - cur) / (2 * d.nthreads); g > size {
 				size = g
+			}
+		} else if maxChunks > 1 {
+			if batch := d.chunk * int64(maxChunks); d.total-cur > batch*d.nthreads {
+				size = batch
 			}
 		}
 		end := cur + size
@@ -226,12 +263,179 @@ func (d *Dispenser) Next() (from, to int64, ok bool) {
 	}
 }
 
+// ChunkSize reports the chunk granularity the dispenser serves (the
+// minimum chunk for guided).
+func (d *Dispenser) ChunkSize() int64 { return d.chunk }
+
 // Remaining reports how many iterations have not yet been dispensed.
 // Intended for tests and diagnostics.
 func (d *Dispenser) Remaining() int64 {
 	r := d.total - d.next.Load()
 	if r < 0 {
 		return 0
+	}
+	return r
+}
+
+// ------------------------------------------------------ steal schedule --
+
+// stealMaxCount bounds the trip count the steal dispenser can represent:
+// (lo, hi) iteration indices share one 64-bit word, 32 bits each, so a
+// range splits — owner claim from the front, thief claim from the back —
+// with a single CAS and no lock.
+const stealMaxCount = 1<<31 - 1
+
+// stealSlot is one worker's remaining range, alone on its cache line:
+// owners hammer their own slot, and only an out-of-work thief's CAS ever
+// pulls the line away.
+type stealSlot struct {
+	bounds atomic.Uint64 // hi<<32 | lo, iteration indices
+	_      [56]byte
+}
+
+func packRange(lo, hi int64) uint64 { return uint64(hi)<<32 | uint64(lo) }
+func unpackRange(v uint64) (lo, hi int64) {
+	return int64(v & 0xffffffff), int64(v >> 32)
+}
+
+// StealDispenser is the shared state behind the Steal schedule: the
+// StaticBlock partition materialised as per-worker atomic ranges. Owners
+// draw chunks from the front of their own range; a worker whose range is
+// exhausted steals the back half of a loaded sibling's range and installs
+// it as its new local range (LLVM static_steal). Iterations are executed
+// exactly once: a range lives in exactly one slot, and every split is a
+// single CAS on that slot.
+type StealDispenser struct {
+	slots []stealSlot
+	chunk int64
+}
+
+// NewStealDispenser carves sp into one contiguous per-worker range each
+// (the StaticBlock partition, remainders spread from worker 0). chunk < 1
+// is treated as 1. sp.Count() must not exceed 2^31-1 — Resolve falls back
+// to Dynamic above that, so construction never sees such spaces.
+func NewStealDispenser(sp Space, chunk, nthreads int) *StealDispenser {
+	if chunk < 1 {
+		chunk = 1
+	}
+	if nthreads < 1 {
+		nthreads = 1
+	}
+	d := &StealDispenser{slots: make([]stealSlot, nthreads), chunk: int64(chunk)}
+	n := sp.Count()
+	per := n / nthreads
+	rem := n % nthreads
+	lo := 0
+	for id := 0; id < nthreads; id++ {
+		size := per
+		if id < rem {
+			size++
+		}
+		d.slots[id].bounds.Store(packRange(int64(lo), int64(lo+size)))
+		lo += size
+	}
+	return d
+}
+
+// Next reserves the next chunk for worker id, returning iteration-index
+// bounds [from, to). victim is the slot a range was stolen from when this
+// call had to steal (the worker's own range had run dry), -1 otherwise; ok
+// is false when no work is left anywhere the worker could see. A false ok
+// is conservative: a range being migrated by a concurrent thief can be
+// missed, which costs balance, never coverage — the thief that owns it
+// will execute it.
+//
+// Ids outside [0, nthreads) have no slot of their own: they steal a whole
+// range per call and never install it anywhere, so a foreign caller can
+// drain leftovers without aliasing a real worker's slot (the install
+// store below is safe precisely because each slot has one owner).
+func (d *StealDispenser) Next(id int) (from, to int64, victim int, ok bool) {
+	if id < 0 || id >= len(d.slots) {
+		lo, hi, vi := d.stealFrom(-1)
+		if vi < 0 {
+			return 0, 0, -1, false
+		}
+		return lo, hi, vi, true
+	}
+	victim = -1
+	self := &d.slots[id]
+	for {
+		for {
+			v := self.bounds.Load()
+			lo, hi := unpackRange(v)
+			if lo >= hi {
+				break
+			}
+			take := d.chunk
+			if hi-lo < take {
+				take = hi - lo
+			}
+			if self.bounds.CompareAndSwap(v, packRange(lo+take, hi)) {
+				return lo, lo + take, victim, true
+			}
+		}
+		lo, hi, vi := d.stealFrom(id)
+		if vi < 0 {
+			return 0, 0, victim, false
+		}
+		victim = vi
+		// The slot's owner is the only goroutine that writes an empty
+		// slot, and thieves skip empty slots, so this plain store cannot
+		// clobber a concurrent claim.
+		self.bounds.Store(packRange(lo, hi))
+	}
+}
+
+// stealFrom scans the slots other than id (id < 0 scans all) for a
+// non-empty range and splits off its back half — or all of it when less
+// than one chunk would remain — returning the stolen bounds and the
+// victim's slot. It retries while some victim visibly holds work (a
+// failed CAS means another worker made progress, so the loop is
+// lock-free) and reports victim -1 once every slot it scanned was empty.
+func (d *StealDispenser) stealFrom(id int) (lo, hi int64, victim int) {
+	n := len(d.slots)
+	for {
+		found := false
+		for i := 0; i < n; i++ {
+			vi := i
+			if id >= 0 {
+				if i == 0 {
+					continue // never steal from yourself
+				}
+				vi = (id + i) % n
+			}
+			v := &d.slots[vi]
+			val := v.bounds.Load()
+			vlo, vhi := unpackRange(val)
+			if vlo >= vhi {
+				continue
+			}
+			found = true
+			take := (vhi - vlo + 1) / 2
+			if vhi-vlo-take < d.chunk {
+				take = vhi - vlo // don't leave the victim a sub-chunk stub
+			}
+			mid := vhi - take
+			if v.bounds.CompareAndSwap(val, packRange(vlo, mid)) {
+				return mid, vhi, vi
+			}
+		}
+		if !found {
+			return 0, 0, -1
+		}
+	}
+}
+
+// Remaining reports how many iterations are still claimable across all
+// ranges. Intended for tests and diagnostics; the sum is a snapshot, not
+// an atomic observation.
+func (d *StealDispenser) Remaining() int64 {
+	var r int64
+	for i := range d.slots {
+		lo, hi := unpackRange(d.slots[i].bounds.Load())
+		if hi > lo {
+			r += hi - lo
+		}
 	}
 	return r
 }

@@ -1,0 +1,45 @@
+#!/bin/sh
+# bench_compare.sh old.txt new.txt [threshold_pct]
+#
+# Compares two raw `go test -bench` outputs (use -count=N for stable
+# medians) by per-benchmark median ns/op and prints the delta table. Exits
+# 1 when a *gated* benchmark — Overhead_RegionEntry or any BarrierPhase
+# variant — regressed by more than threshold_pct (default 20) against old.
+# Benchmarks present in only one file are reported as unmatched and never
+# gate (a merge base predating a benchmark must not fail its PR).
+set -u
+old=${1?usage: bench_compare.sh old.txt new.txt [threshold_pct]}
+new=${2?usage: bench_compare.sh old.txt new.txt [threshold_pct]}
+thr=${3:-20}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# medians FILE OUT: one "name median_ns" line per benchmark.
+medians() {
+  grep -E '^Benchmark' "$1" 2>/dev/null |
+    awk '$4 == "ns/op" { print $1, $3 }' |
+    sort -k1,1 -k2,2g |
+    awk '{ v[$1] = v[$1] " " $2 }
+         END { for (b in v) { c = split(v[b], a, " "); print b, a[int((c+1)/2)] } }' |
+    sort -k1,1 >"$2"
+}
+
+medians "$old" "$tmp/old"
+medians "$new" "$tmp/new"
+
+join -j 1 "$tmp/old" "$tmp/new" >"$tmp/joined"
+join -j 1 -v 1 "$tmp/old" "$tmp/new" | sed 's/^/only in old: /'
+join -j 1 -v 2 "$tmp/old" "$tmp/new" | sed 's/^/only in new: /'
+
+awk -v thr="$thr" '
+  BEGIN { printf "%-55s %14s %14s %9s\n", "benchmark (median of counts)", "old ns/op", "new ns/op", "delta" }
+  {
+    delta = ($2 + 0 > 0) ? ($3 - $2) / $2 * 100 : 0
+    printf "%-55s %14.1f %14.1f %+8.1f%%\n", $1, $2, $3, delta
+    if ($1 ~ /Overhead_RegionEntry(-|$)|BarrierPhase\// && delta > thr)
+      bad = bad "  " $1 sprintf(" (%+.1f%%)", delta)
+  }
+  END {
+    if (bad != "") { printf "FAIL: gated benchmarks regressed beyond %s%%:%s\n", thr, bad; exit 1 }
+  }' "$tmp/joined"

@@ -1,0 +1,17 @@
+#!/bin/sh
+# bench_snapshot.sh — write the repo-root JGF benchmark snapshot for this
+# PR sequence (BENCH_<n>.json). The committed snapshots are the perf
+# trajectory across PRs: compare like-for-like fields only (size, threads,
+# gomaxprocs, hot_teams, schedule are all recorded in the report header).
+#
+# Usage:
+#   scripts/bench_snapshot.sh            # writes BENCH_5.json
+#   scripts/bench_snapshot.sh 6          # writes BENCH_6.json
+#   scripts/bench_snapshot.sh 6 -size=A  # extra flags pass through
+set -eu
+cd "$(dirname "$0")/.."
+
+n=${1:-5}
+[ $# -gt 0 ] && shift
+
+exec go run ./cmd/jgfbench -size=test -threads=1,4 -reps=3 -json "BENCH_${n}.json" "$@"
