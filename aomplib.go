@@ -382,6 +382,90 @@ var PoolStats = core.PoolStats
 // TeamPoolStats is the snapshot type returned by PoolStats.
 type TeamPoolStats = rt.PoolStats
 
+// ----------------------------------------------- multi-tenant admission --
+
+// AdmitPolicy selects what a parallel region entry does when admission
+// control has no team lease slot available: block in the FIFO queue, wait
+// up to a timeout, or reject immediately. Refused entries never fail —
+// they degrade to serialized execution on the calling goroutine.
+type AdmitPolicy = rt.AdmitPolicy
+
+// Admission backpressure policies (SetAdmitPolicy).
+const (
+	AdmitBlock   = rt.AdmitBlock
+	AdmitTimeout = rt.AdmitTimeout
+	AdmitReject  = rt.AdmitReject
+)
+
+// SetAdmissionControl enables or disables multi-tenant admission over the
+// hot-team pool (disabled by default), returning the previous setting.
+// Enabled, every top-level parallel region entry first obtains a lease
+// slot from a bounded controller: at most SetAdmitMaxTeams regions hold
+// teams concurrently, waiters queue FIFO — so no tenant waits unboundedly
+// while another monopolizes warm teams — per-tenant quotas
+// (SetTenantQuota) cap concurrent occupancy, and entries refused a lease
+// (reject policy, full queue, or timeout) run serialized on a pool-
+// bypassing team of one instead of failing. Nested regions ride their
+// top-level entry's slot and never queue. With admission off, region
+// entry pays one extra atomic load — the allocation-free warm path is
+// unchanged.
+var SetAdmissionControl = core.SetAdmissionControl
+
+// AdmissionEnabled reports whether top-level region entries pass through
+// admission control.
+var AdmissionEnabled = core.AdmissionEnabled
+
+// SetAdmitPolicy sets the admission backpressure policy and the queue-wait
+// timeout (meaningful for AdmitTimeout; 0 keeps the current one),
+// returning the previous pair.
+var SetAdmitPolicy = core.SetAdmitPolicy
+
+// SetAdmitMaxTeams bounds how many top-level regions may hold teams
+// concurrently (0 restores the default, which tracks the hot-team pool
+// capacity in default-sized teams). It returns the previous explicit
+// bound.
+var SetAdmitMaxTeams = core.SetAdmitMaxTeams
+
+// SetAdmitQueueBound bounds the admission wait queue (0 restores the
+// default of rt.DefaultAdmitQueueBound waiters); entries that would
+// overflow it degrade to serialized execution instead of queueing, so a
+// saturated server sheds load rather than deadlocking. It returns the
+// previous explicit bound.
+var SetAdmitQueueBound = core.SetAdmitQueueBound
+
+// SetTenantQuota caps how many lease slots the named tenant may hold
+// concurrently (0 removes the cap), returning the previous quota. A
+// tenant over its quota waits for its own releases without blocking the
+// FIFO queue behind it.
+var SetTenantQuota = core.SetTenantQuota
+
+// EnterTenant binds the calling goroutine to the named tenant for
+// admission accounting and returns the token; call its Exit when the
+// request scope ends. Parallel regions entered in the token's scope are
+// arbitrated against the tenant's quota and record their outcomes —
+// Admitted, Queued, Rejected, TimedOut, Degraded — on the token, so a
+// request handler can tell afterwards whether it should shed load:
+//
+//	tok := aomplib.EnterTenant(customerID)
+//	defer tok.Exit()
+//	handle(req) // woven parallel code
+//	if tok.Rejected() > 0 { w.WriteHeader(http.StatusServiceUnavailable) }
+var EnterTenant = core.EnterTenant
+
+// Tenant is the per-request admission token returned by EnterTenant.
+type Tenant = rt.TenantToken
+
+// AdmissionStats snapshots the admission controller: policy and bounds,
+// live queue depth and held slots, cumulative grant/reject/wait counters,
+// and the per-tenant breakdown (occupancy, quota, waits) sorted by name.
+var AdmissionStats = core.ReadAdmissionStats
+
+// AdmissionSnapshot is the snapshot type returned by AdmissionStats.
+type AdmissionSnapshot = rt.AdmissionStats
+
+// TenantAdmissionStats is one tenant's slice of an AdmissionSnapshot.
+type TenantAdmissionStats = rt.TenantAdmissionStats
+
 // ------------------------------------------------------------- tracing --
 
 // EnableTracing installs (or uninstalls) the built-in runtime tracer — an

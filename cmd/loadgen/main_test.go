@@ -1,0 +1,131 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// shortConfig keeps in-process sweeps fast enough for `go test ./...`.
+func shortConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Sweep = []int{1, 2}
+	cfg.Duration = 300 * time.Millisecond
+	return cfg
+}
+
+func TestRunSweepDirectFairness(t *testing.T) {
+	cfg := shortConfig()
+	rep, err := runSweep(cfg)
+	if err != nil {
+		t.Fatalf("runSweep: %v", err)
+	}
+	if len(rep.Points) != len(cfg.Sweep) {
+		t.Fatalf("got %d points, want %d", len(rep.Points), len(cfg.Sweep))
+	}
+	for _, p := range rep.Points {
+		if p.Requests == 0 {
+			t.Fatalf("point %d completed no requests", p.ClientsPerTenant)
+		}
+		if len(p.Tenants) != cfg.Tenants {
+			t.Fatalf("point %d has %d tenant rows, want %d", p.ClientsPerTenant, len(p.Tenants), cfg.Tenants)
+		}
+		if p.P99Ms < p.P50Ms {
+			t.Fatalf("point %d: p99 %.3fms < p50 %.3fms", p.ClientsPerTenant, p.P99Ms, p.P50Ms)
+		}
+		if len(p.Starved) > 0 {
+			t.Fatalf("point %d starved tenants %v (fairness %.3f)", p.ClientsPerTenant, p.Starved, p.Fairness)
+		}
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatalf("Check on a healthy report: %v", err)
+	}
+	if rep.Admission.Admitted == 0 {
+		t.Fatal("admission snapshot recorded no admits")
+	}
+}
+
+func TestRunSweepRejectShedsWithoutDeadlock(t *testing.T) {
+	cfg := shortConfig()
+	cfg.MaxTeams = 1
+	cfg.Policy = "reject"
+	cfg.Sweep = []int{4} // 16 clients over 1 slot: saturation
+	done := make(chan struct{})
+	var rep *Report
+	var err error
+	go func() {
+		defer close(done)
+		rep, err = runSweep(cfg)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("saturated reject sweep deadlocked")
+	}
+	if err != nil {
+		t.Fatalf("runSweep: %v", err)
+	}
+	p := rep.Points[0]
+	if p.Rejected == 0 {
+		t.Fatal("saturated reject sweep shed nothing")
+	}
+	if p.Degraded < p.Rejected {
+		t.Fatalf("rejected requests must degrade, not vanish: rejected=%d degraded=%d", p.Rejected, p.Degraded)
+	}
+	if len(p.Starved) > 0 {
+		t.Fatalf("degraded service still starved %v (fairness %.3f)", p.Starved, p.Fairness)
+	}
+}
+
+func TestRunSweepHTTPMode(t *testing.T) {
+	cfg := shortConfig()
+	cfg.HTTP = true
+	cfg.Kernel = "mix"
+	cfg.Tenants = 2
+	cfg.Sweep = []int{2}
+	rep, err := runSweep(cfg)
+	if err != nil {
+		t.Fatalf("runSweep(http): %v", err)
+	}
+	if rep.Points[0].Requests == 0 {
+		t.Fatal("HTTP sweep completed no requests")
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestReportCheckFlagsStarvation(t *testing.T) {
+	rep := &Report{Config: Config{FairMin: 0.25}}
+	rep.Points = []Point{{ClientsPerTenant: 2, Requests: 10, Fairness: 0.1, Starved: []string{"tenant-3"}}}
+	err := rep.Check()
+	if err == nil || !strings.Contains(err.Error(), "tenant-3") {
+		t.Fatalf("starvation not flagged: %v", err)
+	}
+	rep.Config.P99Max = time.Millisecond
+	rep.Points = []Point{{ClientsPerTenant: 1, Requests: 10, Fairness: 1, P99Ms: 50}}
+	err = rep.Check()
+	if err == nil || !strings.Contains(err.Error(), "p99") {
+		t.Fatalf("p99 bound not flagged: %v", err)
+	}
+}
+
+func TestParseSweepAndPolicy(t *testing.T) {
+	if got, err := parseSweep("1, 2,8"); err != nil || len(got) != 3 || got[2] != 8 {
+		t.Fatalf("parseSweep: %v %v", got, err)
+	}
+	if _, err := parseSweep("1,x"); err == nil {
+		t.Fatal("garbage sweep accepted")
+	}
+	if _, err := parsePolicy("drop"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := runSweep(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := shortConfig()
+	cfg.Kernel = "fortran"
+	if _, err := runSweep(cfg); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}

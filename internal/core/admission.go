@@ -1,0 +1,61 @@
+package core
+
+import (
+	"time"
+
+	"aomplib/internal/rt"
+)
+
+// Multi-tenant admission facade: fair arbitration of the hot-team pool for
+// server workloads — thousands of request goroutines each entering small
+// parallel regions. The mechanism lives in internal/rt (admission.go); this
+// layer only re-exports it so the public package and woven programs share
+// one controller.
+
+// SetAdmissionControl enables or disables multi-tenant admission over the
+// hot-team pool (disabled by default), returning the previous setting.
+// Enabled, every top-level parallel region entry first obtains a lease
+// slot: at most AdmitMaxTeams regions hold teams concurrently, waiters
+// queue FIFO (starvation-free across tenants), per-tenant quotas cap
+// monopolization, and refused entries degrade to serialized execution
+// instead of failing. Disabling grants every queued waiter.
+func SetAdmissionControl(on bool) bool { return rt.SetAdmissionControl(on) }
+
+// AdmissionEnabled reports whether top-level region entries pass through
+// admission control.
+func AdmissionEnabled() bool { return rt.AdmissionEnabled() }
+
+// SetAdmitPolicy sets the admission backpressure policy — AdmitBlock,
+// AdmitTimeout or AdmitReject — and the queue-wait timeout (meaningful for
+// AdmitTimeout; pass 0 to keep the current one). Returns the previous pair.
+func SetAdmitPolicy(p rt.AdmitPolicy, timeout time.Duration) (rt.AdmitPolicy, time.Duration) {
+	return rt.SetAdmitPolicy(p, timeout)
+}
+
+// SetAdmitMaxTeams bounds how many top-level regions may hold teams
+// concurrently (0 restores the default, which tracks the hot-team pool
+// capacity in default-sized teams). Returns the previous explicit bound.
+func SetAdmitMaxTeams(n int) int { return rt.SetAdmitMaxTeams(n) }
+
+// SetAdmitQueueBound bounds the admission wait queue (0 restores
+// rt.DefaultAdmitQueueBound); overflow degrades to serialized execution
+// instead of queueing. Returns the previous explicit bound.
+func SetAdmitQueueBound(n int) int { return rt.SetAdmitQueueBound(n) }
+
+// SetTenantQuota caps how many lease slots the named tenant may hold
+// concurrently (0 removes the cap), returning the previous quota.
+func SetTenantQuota(name string, maxConcurrent int) int {
+	return rt.SetTenantQuota(name, maxConcurrent)
+}
+
+// EnterTenant binds the calling goroutine to the named tenant for
+// admission accounting and returns the token; call Exit when the request
+// scope ends. Region entries in the token's scope are arbitrated against
+// the tenant's quota and record their outcomes (admitted, queued,
+// rejected, degraded) on the token.
+func EnterTenant(name string) *rt.TenantToken { return rt.EnterTenant(name) }
+
+// ReadAdmissionStats snapshots the admission controller: policy and
+// bounds, live queue depth and held slots, cumulative grant/reject/wait
+// counters, and the per-tenant breakdown.
+func ReadAdmissionStats() rt.AdmissionStats { return rt.ReadAdmissionStats() }

@@ -38,18 +38,27 @@ func StartTrace() { obs.StartTrace() }
 func StopTrace(w io.Writer) error { return obs.StopTrace(w) }
 
 // RuntimeSnapshot aggregates the observability counters: the tracer's
-// event statistics and the hot-team pool's lease counters.
+// event statistics, the hot-team pool's lease counters, and the
+// multi-tenant admission controller's queue and fairness counters.
 type RuntimeSnapshot struct {
 	// Events are the built-in tracer's cumulative counters (zero unless
 	// EnableTracing/StartTrace installed it).
 	Events obs.Stats
 	// Pool is the hot-team pool snapshot, always live.
 	Pool rt.PoolStats
+	// Admission is the multi-tenant admission snapshot, always live
+	// (zero-counter when admission control has never been enabled).
+	Admission rt.AdmissionStats
 }
 
-// ReadRuntimeStats snapshots the runtime: tracer counters plus pool state.
+// ReadRuntimeStats snapshots the runtime: tracer counters plus pool and
+// admission state.
 func ReadRuntimeStats() RuntimeSnapshot {
-	return RuntimeSnapshot{Events: obs.ReadStats(), Pool: rt.ReadPoolStats()}
+	return RuntimeSnapshot{
+		Events:    obs.ReadStats(),
+		Pool:      rt.ReadPoolStats(),
+		Admission: rt.ReadAdmissionStats(),
+	}
 }
 
 // SetTraceHooks installs a custom tool's hook table in place of (or

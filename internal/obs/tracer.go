@@ -32,6 +32,16 @@ type Stats struct {
 
 	DepReleases uint64 // parked dependent tasks released to deques
 
+	// Multi-tenant admission counters (rt server mode). Counter-only, like
+	// StealAttempts: admission events happen on the entering goroutine
+	// outside any worker context, so they carry no timeline value — the
+	// queue-side picture lives in rt.AdmissionStats.
+	AdmitGrants   uint64 // team leases granted (fast-path and after queueing)
+	AdmitQueued   uint64 // grants that waited in the admission queue first
+	AdmitWaitNs   uint64 // total nanoseconds spent queued for admission
+	AdmitRejects  uint64 // lease requests refused (policy, full queue, timeout)
+	AdmitTimeouts uint64 // refusals specifically due to a queue-wait timeout
+
 	EventsRecorded uint64 // records stored in trace ring buffers
 	EventsDropped  uint64 // records dropped: ring full or drain in progress
 }
@@ -45,6 +55,9 @@ type counters struct {
 	stealAttempts, steals             atomic.Uint64
 	barrierWaits, barrierWaitNs       atomic.Uint64
 	depReleases                       atomic.Uint64
+	admitGrants, admitQueued          atomic.Uint64
+	admitWaitNs                       atomic.Uint64
+	admitRejects, admitTimeouts       atomic.Uint64
 	recorded                          atomic.Uint64
 }
 
@@ -195,6 +208,11 @@ func (c *collector) stats() Stats {
 		BarrierWaits:   c.c.barrierWaits.Load(),
 		BarrierWaitNs:  c.c.barrierWaitNs.Load(),
 		DepReleases:    c.c.depReleases.Load(),
+		AdmitGrants:    c.c.admitGrants.Load(),
+		AdmitQueued:    c.c.admitQueued.Load(),
+		AdmitWaitNs:    c.c.admitWaitNs.Load(),
+		AdmitRejects:   c.c.admitRejects.Load(),
+		AdmitTimeouts:  c.c.admitTimeouts.Load(),
 		EventsRecorded: c.c.recorded.Load(),
 		EventsDropped:  dropped,
 	}
@@ -292,6 +310,22 @@ func (c *collector) hooks() *Hooks {
 		BarrierDepart: func(w WorkerID, team uint64, waitNs int64) {
 			c.c.barrierWaitNs.Add(uint64(waitNs))
 			c.record(w, Event{Kind: EvBarrierDepart, Team: team, Arg: uint64(waitNs)})
+		},
+		// AdmitEnqueue stays nil: the enqueue is implied by AdmitGrant's
+		// waitNs>0 or by AdmitReject, and depth snapshots live in
+		// rt.AdmissionStats.
+		AdmitGrant: func(tenant uint64, waitNs int64) {
+			c.c.admitGrants.Add(1)
+			if waitNs > 0 {
+				c.c.admitQueued.Add(1)
+				c.c.admitWaitNs.Add(uint64(waitNs))
+			}
+		},
+		AdmitReject: func(tenant uint64, reason AdmitReason) {
+			c.c.admitRejects.Add(1)
+			if reason == AdmitReasonTimeout {
+				c.c.admitTimeouts.Add(1)
+			}
 		},
 		DepRelease: func(w WorkerID, task uint64) {
 			c.c.depReleases.Add(1)

@@ -3,7 +3,9 @@ package rt
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"strings"
+	"sync"
 	"testing"
 
 	"aomplib/internal/obs"
@@ -166,4 +168,73 @@ func BenchmarkTaskSpawnWaitTraced(b *testing.B) {
 		b.StopTimer()
 		_ = x
 	})
+}
+
+// TestHotTeamTraceDrainRacesRetirement drains the trace (StopTrace →
+// ring drains → immediate StartTrace reset) while teams are being
+// retired under it — worker panics poisoning teams, SetPoolSize evicting
+// cached ones — so retiring workers' final emits race the drain's
+// writer-exclusion handshake. Survival under -race is the point: no torn
+// records, no deadlock between a drain and a dying team, and the exported
+// JSON stays parseable every cycle.
+func TestHotTeamTraceDrainRacesRetirement(t *testing.T) {
+	defer resetPool(t)()
+	prevPool := SetPoolSize(4)
+	defer SetPoolSize(prevPool)
+	obs.StartTrace()
+	defer func() {
+		obs.StopTrace(io.Discard)
+		obs.EnableTracing(false)
+	}()
+
+	stop := make(chan struct{})
+	var drains sync.WaitGroup
+	drains.Add(1)
+	go func() {
+		defer drains.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := obs.StopTrace(&buf); err != nil {
+				t.Errorf("StopTrace during retirement churn: %v", err)
+				return
+			}
+			if !json.Valid(buf.Bytes()) {
+				t.Error("drain emitted invalid JSON during retirement churn")
+				return
+			}
+			obs.StartTrace()
+		}
+	}()
+
+	const goroutines, iters = 8, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if i%5 == 0 {
+					SetPoolSize(1 + (i/5)%8) // evictions retire cached teams
+				}
+				func() {
+					defer func() { recover() }()
+					Region(2, func(w *Worker) {
+						Spawn(func() {})
+						w.Team.Barrier().Wait()
+						if w.ID == 1 && (g+i)%7 == 0 {
+							panic("retire under drain")
+						}
+					})
+				}()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	drains.Wait()
 }

@@ -254,6 +254,19 @@ func acquireTeam(n int) *Team {
 	return t
 }
 
+// bypassTeam cold-spawns a team that never touches the pool — the
+// degraded path of admission control (admission.go). It is excluded from
+// the pool's lease counters (it holds no lease; AdmissionStats.Degraded
+// accounts for it) but still emits the TeamLease trace event so timelines
+// stay coherent.
+func bypassTeam(n int) *Team {
+	t := newTeam(n)
+	if h := obsHooks(); h != nil && h.TeamLease != nil {
+		h.TeamLease(curGID(), t.tid, n, false)
+	}
+	return t
+}
+
 // releaseTeam parks a cleanly-finished team in the pool, or destroys it
 // when hot teams are off or it cannot fit even after making room.
 //

@@ -301,3 +301,83 @@ func BenchmarkRegionEntryCold(b *testing.B) {
 		Region(2, func(w *Worker) {})
 	}
 }
+
+// TestHotTeamStressSetPoolSizeChurnPanics oversubscribes the pool — many
+// goroutines entering nested 2–4-worker regions — while SetPoolSize
+// shrinks and grows the cache underneath and periodic worker panics retire
+// teams mid-traffic. The assertions are survival ones: every entry
+// completes (no deadlock, no lost wakeup), panics propagate to exactly the
+// entries that raised them, and the pool ends within its configured bound.
+// Run under -race in CI.
+func TestHotTeamStressSetPoolSizeChurnPanics(t *testing.T) {
+	defer resetPool(t)()
+	prevPool := SetPoolSize(4) // 2 two-worker teams: goroutines ≫ pool
+	defer SetPoolSize(prevPool)
+
+	const goroutines, iters = 16, 60
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		sizes := []int{2, 8, 1, 4}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			SetPoolSize(sizes[i%len(sizes)])
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	var completed, panicsSeen atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				wantPanic := (g+i)%13 == 0
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if !wantPanic {
+								panic(r)
+							}
+							panicsSeen.Add(1)
+						} else if wantPanic {
+							t.Error("worker panic did not propagate to the region entry")
+						}
+					}()
+					Region(2+(g+i)%3, func(w *Worker) {
+						if w.ID == 0 && i%4 == 0 {
+							Region(2, func(inner *Worker) {})
+						}
+						if wantPanic && w.ID == w.Team.Size-1 {
+							panic("churn")
+						}
+					})
+				}()
+				completed.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+
+	if got := completed.Load(); got != goroutines*iters {
+		t.Fatalf("completed %d entries, want %d", got, goroutines*iters)
+	}
+	if panicsSeen.Load() == 0 {
+		t.Fatal("stress schedule never exercised the panic-retire path")
+	}
+	// The churner may have left any bound in force; pin one and verify the
+	// pool respects it once traffic has stopped.
+	SetPoolSize(4)
+	if st := ReadPoolStats(); st.IdleWorkers > 4 {
+		t.Fatalf("pool over bound after churn: %d idle workers", st.IdleWorkers)
+	}
+}

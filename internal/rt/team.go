@@ -321,7 +321,32 @@ func RegionArg(n int, body func(w *Worker, arg any), arg any) {
 			n = 1
 		}
 	}
-	t := acquireTeam(n)
+	pooled := true
+	if parent == nil && admissionOn.Load() {
+		// Top-level entries pass through multi-tenant admission; nested
+		// entries ride the slot their top-level region already holds (and
+		// must never queue — a wait inside a held slot could deadlock).
+		g := admitRegion()
+		if g.degraded {
+			// Refused a lease: degrade gracefully — run serialized on a
+			// cold team of one that bypasses the pool, so saturation
+			// traffic cannot thrash warm full-width teams out of it.
+			n = 1
+			pooled = false
+		}
+		if g.tenant != nil {
+			// Deferred (not inlined into the two completion paths below) so
+			// the slot releases exactly once on every exit: normal return,
+			// re-raised worker panic, and master Goexit.
+			defer admitExit(g.tenant)
+		}
+	}
+	var t *Team
+	if pooled {
+		t = acquireTeam(n)
+	} else {
+		t = bypassTeam(n)
+	}
 	t.beginLease(parent, level, body, arg)
 	if h := obsHooks(); h != nil && h.RegionFork != nil {
 		h.RegionFork(t.workers[0].gid, t.tid, level, n)
@@ -361,10 +386,15 @@ func RegionArg(n int, body func(w *Worker, arg any), arg any) {
 	panicked, panicVal := t.panicked, t.panicVal
 	t.panicMu.Unlock()
 	t.endLease()
-	if panicked || t.poisoned.Load() {
+	switch {
+	case panicked || t.poisoned.Load():
 		retireTeam(t)
-	} else {
+	case pooled:
 		releaseTeam(t)
+	default:
+		// Degraded admission entry: its one-worker team bypassed the pool
+		// on the way in and is simply discarded on the way out.
+		t.destroy()
 	}
 	if panicked {
 		panic(panicVal)

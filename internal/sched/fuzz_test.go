@@ -1,0 +1,40 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseKind feeds ParseKind arbitrary strings: garbage must come back
+// as an error (never a panic, never a silent zero Kind masquerading as
+// StaticBlock), and every accepted name must round-trip through
+// Kind.String back to the same Kind, case-insensitively. Run as a short
+// -fuzztime smoke in CI; the corpus seeds cover every canonical name plus
+// near-miss mutations.
+func FuzzParseKind(f *testing.F) {
+	for _, k := range Kinds() {
+		f.Add(k.String())
+		f.Add(strings.ToUpper(k.String()))
+		f.Add(k.String() + "x")
+	}
+	f.Add("")
+	f.Add("static")
+	f.Add("dyn amic")
+	f.Add("\x00guided")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseKind(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "unknown schedule") {
+				t.Fatalf("ParseKind(%q) error lost its shape: %v", s, err)
+			}
+			return
+		}
+		if !strings.EqualFold(s, k.String()) {
+			t.Fatalf("ParseKind(%q) = %v, whose name %q does not match the input", s, k, k.String())
+		}
+		rk, rerr := ParseKind(k.String())
+		if rerr != nil || rk != k {
+			t.Fatalf("round-trip failed: ParseKind(%q) = %v, %v; want %v", k.String(), rk, rerr, k)
+		}
+	})
+}

@@ -7,10 +7,28 @@
 # variant — regressed by more than threshold_pct (default 20) against old.
 # Benchmarks present in only one file are reported as unmatched and never
 # gate (a merge base predating a benchmark must not fail its PR).
+#
+# Missing or benchmark-less inputs are an error (exit 2 with a message),
+# never a silent pass: a CI step comparing two files that do not exist
+# must fail the job, not green-light the regression it was gating. A
+# caller that legitimately has no baseline (e.g. a root commit) must skip
+# the comparison explicitly rather than feed an empty file through.
 set -u
-old=${1?usage: bench_compare.sh old.txt new.txt [threshold_pct]}
-new=${2?usage: bench_compare.sh old.txt new.txt [threshold_pct]}
+usage="usage: bench_compare.sh old.txt new.txt [threshold_pct]"
+old=${1?$usage}
+new=${2?$usage}
 thr=${3:-20}
+
+fail() { echo "bench_compare.sh: $*" >&2; exit 2; }
+
+case $thr in
+  ''|*[!0-9.]*) fail "threshold \"$thr\" is not a number" ;;
+esac
+for f in "$old" "$new"; do
+  [ -f "$f" ] || fail "input \"$f\" does not exist"
+  grep -qE '^Benchmark' "$f" ||
+    fail "input \"$f\" contains no 'Benchmark' lines — wrong file, or the bench run produced nothing"
+done
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT

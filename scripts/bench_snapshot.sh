@@ -8,10 +8,20 @@
 #   scripts/bench_snapshot.sh            # writes BENCH_5.json
 #   scripts/bench_snapshot.sh 6          # writes BENCH_6.json
 #   scripts/bench_snapshot.sh 6 -size=A  # extra flags pass through
+#
+# A bad PR number or a missing go toolchain fails loudly (exit 2 with a
+# message) instead of writing BENCH_garbage.json or dying on an opaque
+# "go: not found".
 set -eu
 cd "$(dirname "$0")/.."
 
+fail() { echo "bench_snapshot.sh: $*" >&2; exit 2; }
+
 n=${1:-5}
 [ $# -gt 0 ] && shift
+case $n in
+  ''|*[!0-9]*) fail "PR number \"$n\" is not a non-negative integer" ;;
+esac
+command -v go >/dev/null 2>&1 || fail "go toolchain not found in PATH"
 
 exec go run ./cmd/jgfbench -size=test -threads=1,4 -reps=3 -json "BENCH_${n}.json" "$@"

@@ -1,0 +1,128 @@
+// Package scripts_test exercises the repo's shell tooling the way CI
+// invokes it, so the scripts' loud-failure contract — bad inputs exit
+// non-zero with a message, never a silent green — is itself under test.
+package scripts_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runScript invokes a script under sh and returns combined output + exit code.
+func runScript(t *testing.T, name string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command("sh", append([]string{name}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %s: %v\n%s", name, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func writeBench(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseBench = `goos: linux
+BenchmarkOverhead_RegionEntry-4     2000    1000 ns/op    0 B/op    0 allocs/op
+BenchmarkBarrierPhase/w=4-4         2000    2000 ns/op    0 B/op    0 allocs/op
+BenchmarkDispenseContended-4        2000    5000 ns/op    0 B/op    0 allocs/op
+PASS
+`
+
+func TestBenchCompareMissingInputFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	ok := writeBench(t, dir, "ok.txt", baseBench)
+	out, code := runScript(t, "bench_compare.sh", filepath.Join(dir, "nope.txt"), ok)
+	if code == 0 {
+		t.Fatalf("missing old file exited 0:\n%s", out)
+	}
+	if !strings.Contains(out, "does not exist") {
+		t.Fatalf("no loud message for missing file:\n%s", out)
+	}
+	out, code = runScript(t, "bench_compare.sh", ok, filepath.Join(dir, "nope.txt"))
+	if code == 0 || !strings.Contains(out, "does not exist") {
+		t.Fatalf("missing new file not flagged (exit %d):\n%s", code, out)
+	}
+}
+
+func TestBenchCompareEmptyInputFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	ok := writeBench(t, dir, "ok.txt", baseBench)
+	empty := writeBench(t, dir, "empty.txt", "")
+	out, code := runScript(t, "bench_compare.sh", empty, ok)
+	if code == 0 {
+		t.Fatalf("empty baseline exited 0 — the silent-pass regression is back:\n%s", out)
+	}
+	if !strings.Contains(out, "no 'Benchmark' lines") {
+		t.Fatalf("no loud message for empty baseline:\n%s", out)
+	}
+}
+
+func TestBenchCompareBadThresholdFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	ok := writeBench(t, dir, "ok.txt", baseBench)
+	out, code := runScript(t, "bench_compare.sh", ok, ok, "twenty")
+	if code == 0 || !strings.Contains(out, "not a number") {
+		t.Fatalf("bad threshold not flagged (exit %d):\n%s", code, out)
+	}
+}
+
+func TestBenchComparePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBench(t, dir, "old.txt", baseBench)
+	newer := writeBench(t, dir, "new.txt", strings.ReplaceAll(baseBench, "1000 ns/op", "1100 ns/op"))
+	out, code := runScript(t, "bench_compare.sh", old, newer, "20")
+	if code != 0 {
+		t.Fatalf("10%% drift under a 20%% threshold failed (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "BenchmarkOverhead_RegionEntry") {
+		t.Fatalf("delta table missing the gated benchmark:\n%s", out)
+	}
+}
+
+func TestBenchCompareGatesRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBench(t, dir, "old.txt", baseBench)
+	// RegionEntry +50% is gated; the dispenser is reported but not gated.
+	regressed := strings.ReplaceAll(baseBench, "1000 ns/op", "1500 ns/op")
+	newer := writeBench(t, dir, "new.txt", regressed)
+	out, code := runScript(t, "bench_compare.sh", old, newer, "20")
+	if code != 1 {
+		t.Fatalf("gated 50%% regression exited %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "Overhead_RegionEntry") {
+		t.Fatalf("gate fired without naming the offender:\n%s", out)
+	}
+
+	// An ungated benchmark regressing alone must not fail the comparison.
+	regressed = strings.ReplaceAll(baseBench, "5000 ns/op", "9000 ns/op")
+	newer = writeBench(t, dir, "new2.txt", regressed)
+	out, code = runScript(t, "bench_compare.sh", old, newer, "20")
+	if code != 0 {
+		t.Fatalf("ungated regression failed the gate (exit %d):\n%s", code, out)
+	}
+}
+
+func TestBenchSnapshotRejectsGarbageArg(t *testing.T) {
+	out, code := runScript(t, "bench_snapshot.sh", "sixteen")
+	if code == 0 || !strings.Contains(out, "not a non-negative integer") {
+		t.Fatalf("garbage PR number not flagged (exit %d):\n%s", code, out)
+	}
+	out, code = runScript(t, "bench_snapshot.sh", "-3")
+	if code == 0 {
+		t.Fatalf("negative PR number accepted:\n%s", out)
+	}
+}
