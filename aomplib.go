@@ -36,6 +36,13 @@
 // (internal/weaver, internal/core, internal/rt, internal/sched,
 // internal/pointcut); see DESIGN.md for the architecture and the mapping
 // to the paper.
+//
+// For call sites that want a parallel loop, reduction, sort or pipeline
+// without registering joinpoints, the sibling package aomplib/parallel is
+// a generic (type-parameterized) algorithms layer on the same runtime —
+// both styles share the hot-team pool, the loop schedules, admission
+// control and tracing, and compose freely: a parallel.For inside a woven
+// region decomposes onto the current team.
 package aomplib
 
 import (

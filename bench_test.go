@@ -80,9 +80,17 @@ func BenchmarkFigure13_Series_Aomp(b *testing.B) {
 	benchInstance(b, series.NewAomp(f13Series, threads()))
 }
 
+// The Par rows run the generic-algorithms (package parallel) version of
+// the kernel against the woven Aomp one: same base program, dispatch via
+// parallel.ForRange instead of @For advice.
+func BenchmarkFigure13_Series_Par(b *testing.B) {
+	benchInstance(b, series.NewParallel(f13Series, threads()))
+}
+
 func BenchmarkFigure13_SOR_Seq(b *testing.B)  { benchInstance(b, sor.NewSeq(f13SOR)) }
 func BenchmarkFigure13_SOR_MT(b *testing.B)   { benchInstance(b, sor.NewMT(f13SOR, threads())) }
 func BenchmarkFigure13_SOR_Aomp(b *testing.B) { benchInstance(b, sor.NewAomp(f13SOR, threads())) }
+func BenchmarkFigure13_SOR_Par(b *testing.B)  { benchInstance(b, sor.NewParallel(f13SOR, threads())) }
 
 func BenchmarkFigure13_Sparse_Seq(b *testing.B) { benchInstance(b, sparse.NewSeq(f13Sparse)) }
 func BenchmarkFigure13_Sparse_MT(b *testing.B)  { benchInstance(b, sparse.NewMT(f13Sparse, threads())) }

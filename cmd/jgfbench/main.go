@@ -3,7 +3,9 @@
 // base programs, across all eight Java Grande benchmarks, plus the
 // Aomp-vs-MT relative difference backing the "less than 1%" claim (§V).
 // Benchmarks with a dataflow port (LUFact, SOR) additionally run the
-// @Depend-based Aomp-DF version against the barrier-based Aomp one.
+// @Depend-based Aomp-DF version against the barrier-based Aomp one, and
+// benchmarks with a generic-algorithms port (Series, SOR) run a Parallel
+// version (package parallel's For/ForRange) against the woven Aomp one.
 //
 // Usage:
 //
@@ -42,6 +44,10 @@ type bench struct {
 	aomp func(threads int) harness.Instance
 	// dep is the dataflow (@Depend) version, when the benchmark has one.
 	dep func(threads int) harness.Instance
+	// par is the generic-algorithms (package parallel) version, when the
+	// benchmark has one: the Aomp kernel re-expressed as parallel.ForRange,
+	// so the layer's dispatch cost is measured against the woven @For.
+	par func(threads int) harness.Instance
 }
 
 func suite(size string) []bench {
@@ -74,11 +80,13 @@ func suite(size string) []bench {
 			dep:  func(t int) harness.Instance { return lufact.NewAompDep(lp, t) }},
 		{name: "Series", seq: func() harness.Instance { return series.NewSeq(sp) },
 			mt:   func(t int) harness.Instance { return series.NewMT(sp, t) },
-			aomp: func(t int) harness.Instance { return series.NewAomp(sp, t) }},
+			aomp: func(t int) harness.Instance { return series.NewAomp(sp, t) },
+			par:  func(t int) harness.Instance { return series.NewParallel(sp, t) }},
 		{name: "SOR", seq: func() harness.Instance { return sor.NewSeq(op) },
 			mt:   func(t int) harness.Instance { return sor.NewMT(op, t) },
 			aomp: func(t int) harness.Instance { return sor.NewAomp(op, t) },
-			dep:  func(t int) harness.Instance { return sor.NewAompDep(op, t) }},
+			dep:  func(t int) harness.Instance { return sor.NewAompDep(op, t) },
+			par:  func(t int) harness.Instance { return sor.NewParallel(op, t) }},
 		{name: "Sparse", seq: func() harness.Instance { return sparse.NewSeq(pp) },
 			mt:   func(t int) harness.Instance { return sparse.NewMT(pp, t) },
 			aomp: func(t int) harness.Instance { return sparse.NewAomp(pp, t) }},
@@ -180,7 +188,9 @@ func main() {
 	threadsFlag := flag.String("threads", fmt.Sprintf("1,%d", runtime.GOMAXPROCS(0)),
 		"comma-separated team sizes")
 	reps := flag.Int("reps", 3, "kernel repetitions (fastest kept)")
-	only := flag.String("only", "", "comma-separated benchmark filter (e.g. crypt,moldyn)")
+	only := flag.String("only", "",
+		"comma-separated benchmark filter\n"+
+			"(valid: crypt, lufact, series, sor, sparse, moldyn, montecarlo, raytracer)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	tracePath := flag.String("trace", "",
 		"record the whole run and write a Chrome trace (load at ui.perfetto.dev) to this file")
@@ -237,6 +247,10 @@ func main() {
 				if b.dep != nil {
 					fmt.Fprintf(os.Stderr, "running %s (Aomp-DF, %d threads)...\n", b.name, t)
 					add(harness.Measure(b.name, harness.AompDep, t, b.dep(t), *reps))
+				}
+				if b.par != nil {
+					fmt.Fprintf(os.Stderr, "running %s (Parallel, %d threads)...\n", b.name, t)
+					add(harness.Measure(b.name, harness.Par, t, b.par(t), *reps))
 				}
 			}
 		}

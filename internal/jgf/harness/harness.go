@@ -27,12 +27,16 @@ type Instance interface {
 type Version string
 
 // Version labels. AompDep is the dataflow (@Depend) variant of an Aomp
-// version, where barrier fences are replaced by task dependence edges.
+// version, where barrier fences are replaced by task dependence edges;
+// Par is the same kernel expressed through the generic algorithms layer
+// (package parallel) instead of woven aspects, benchmarked so the layer's
+// dispatch cost is measured against the hand-woven @For baseline.
 const (
 	Seq     Version = "Seq"
 	MT      Version = "JGF-MT"
 	Aomp    Version = "Aomp"
 	AompDep Version = "Aomp-DF"
+	Par     Version = "Parallel"
 )
 
 // Measurement is one timed, validated benchmark execution. Seconds is the

@@ -14,6 +14,7 @@ import (
 	"aomplib/internal/jgf/harness"
 	"aomplib/internal/sched"
 	"aomplib/internal/weaver"
+	"aomplib/parallel"
 )
 
 // Params sizes the benchmark.
@@ -209,6 +210,33 @@ func (in *aompInstance) Setup() {
 
 func (in *aompInstance) Kernel()         { in.run() }
 func (in *aompInstance) Validate() error { return in.s.validate() }
+
+type parInstance struct {
+	p       Params
+	threads int
+	s       *Series
+	opts    []parallel.Opt
+}
+
+// NewParallel returns the generic-algorithms version: the same base
+// program driven by parallel.ForRange instead of woven aspects. Schedule
+// Runtime matches the Aomp binding, so -schedule sweeps cover both.
+func NewParallel(p Params, threads int) harness.Instance {
+	return &parInstance{p: p, threads: threads}
+}
+
+func (in *parInstance) Setup() {
+	in.s = New(in.p)
+	in.opts = []parallel.Opt{
+		parallel.WithThreads(in.threads), parallel.WithSchedule(parallel.Runtime),
+	}
+}
+
+func (in *parInstance) Kernel() {
+	parallel.ForRange(0, in.s.n, func(lo, hi int) { in.s.BuildCoeffs(lo, hi, 1) }, in.opts...)
+}
+
+func (in *parInstance) Validate() error { return in.s.validate() }
 
 func min(a, b int) int {
 	if a < b {

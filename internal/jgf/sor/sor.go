@@ -17,6 +17,7 @@ import (
 	"aomplib/internal/rng"
 	"aomplib/internal/sched"
 	"aomplib/internal/weaver"
+	"aomplib/parallel"
 )
 
 // Params sizes the benchmark.
@@ -283,3 +284,37 @@ func (in *aompDepInstance) Validate() error { return in.s.validate() }
 
 // WeaveReport exposes the woven structure for the Table 2 tooling.
 func (in *aompDepInstance) WeaveReport() []weaver.WovenMethod { return in.prog.Report() }
+
+type parInstance struct {
+	p       Params
+	threads int
+	s       *SOR
+	opts    []parallel.Opt
+}
+
+// NewParallel returns the generic-algorithms version: each colour phase
+// of each sweep is one parallel.ForRange over the rows — the region join
+// is the inter-phase barrier, where the Aomp version holds one region
+// open and weaves explicit barriers. Schedule Runtime matches the Aomp
+// binding so -schedule sweeps cover both.
+func NewParallel(p Params, threads int) harness.Instance {
+	return &parInstance{p: p, threads: threads}
+}
+
+func (in *parInstance) Setup() {
+	in.s = New(in.p)
+	in.opts = []parallel.Opt{
+		parallel.WithThreads(in.threads), parallel.WithSchedule(parallel.Runtime),
+	}
+}
+
+func (in *parInstance) Kernel() {
+	s := in.s
+	for it := 0; it < s.iters; it++ {
+		parallel.ForRange(0, s.m, func(lo, hi int) { s.RelaxColor(lo, hi, 1, 0) }, in.opts...)
+		parallel.ForRange(0, s.m, func(lo, hi int) { s.RelaxColor(lo, hi, 1, 1) }, in.opts...)
+	}
+	s.gTotal = s.Sum()
+}
+
+func (in *parInstance) Validate() error { return in.s.validate() }

@@ -1,11 +1,3 @@
-// Package rt implements AOmpLib's execution model (paper §III.A): parallel
-// regions executed by a team of workers created on region entry, with the
-// master thread participating as worker 0 and joining the spawned workers
-// at region exit (paper Fig. 9). It also provides the shared state behind
-// the synchronisation constructs: a team barrier, per-construct instance
-// tracking (so that repeated encounters of the same work-sharing or single
-// construct inside one region stay matched across workers), named and
-// per-object critical locks, task groups and futures.
 package rt
 
 import (

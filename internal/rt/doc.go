@@ -1,0 +1,32 @@
+// Package rt is AOmpLib's runtime: it implements the paper's execution
+// model (§III.A) — parallel regions executed by a team of workers, with
+// the master participating as worker 0 and joining the team at region
+// exit (paper Fig. 9) — and everything that has grown around it since.
+//
+// The subsystems, roughly in the order later PRs added them:
+//
+//   - Regions and hot teams. Region/RegionArg enter a parallel region on
+//     a leased, pre-spawned worker team from a bounded pool, so warm
+//     steady-state entry is allocation-free. Multi-tenant admission
+//     control arbitrates the pool across concurrent clients (FIFO
+//     fairness with per-tenant quotas and reject/timeout degradation).
+//   - Tasks. Spawn/SpawnDep push closures onto per-worker Chase-Lev
+//     deques; idle workers steal. SpawnDep orders tasks by declared
+//     Deps (in/out/inout addresses) on the dependence tracker; task
+//     groups and futures provide the joining constructs.
+//   - Synchronisation. A tree barrier with adaptive spin-then-park,
+//     per-construct instance tracking (repeated work-sharing or single
+//     constructs inside one region stay matched across workers), and
+//     sharded named/per-object critical-lock registries.
+//   - Loop dispatch. ForSpan runs one worker's share of an iteration
+//     space under any sched.Kind — pure arithmetic for the static
+//     kinds, the shared chunk dispenser (with steal-based dispensing)
+//     for dynamic/guided/steal. SpawnRange decomposes a range into
+//     stealable tasks by recursive binary splitting. TokenPool is a
+//     counting semaphore whose blocked workers help run tasks instead
+//     of parking. These are the primitives the public parallel package
+//     builds its algorithms on.
+//   - Observability. Every interesting transition reports into the
+//     internal/obs hook table; with no tool installed each emit point
+//     is a single predicted branch.
+package rt

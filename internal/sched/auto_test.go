@@ -134,6 +134,33 @@ func TestResolveAutoBoundaryTripCounts(t *testing.T) {
 	}
 }
 
+// TestAutoGrain pins the generic-range grain heuristic: a pure function
+// of the trip count (width-independence is what keeps Reduce/Scan
+// decomposition deterministic), never below the dispatch-amortizing
+// minimum, never cutting more than the piece bound.
+func TestAutoGrain(t *testing.T) {
+	if got := AutoGrain(0); got != 1 {
+		t.Errorf("AutoGrain(0) = %d, want 1", got)
+	}
+	if got := AutoGrain(-5); got != 1 {
+		t.Errorf("AutoGrain(-5) = %d, want 1", got)
+	}
+	for _, n := range []int{1, 10, 100, 1000, 1 << 16, 1 << 24} {
+		g := AutoGrain(n)
+		if g < autoGrainMin && g < n {
+			t.Errorf("AutoGrain(%d) = %d, below minimum %d", n, g, autoGrainMin)
+		}
+		pieces := (n + g - 1) / g
+		if pieces > autoGrainPieces {
+			t.Errorf("AutoGrain(%d) = %d cuts %d pieces, bound %d", n, g, pieces, autoGrainPieces)
+		}
+	}
+	// Large inputs scale the grain so the piece count stays put.
+	if AutoGrain(1<<24) <= AutoGrain(1<<16) {
+		t.Error("AutoGrain does not grow with the input")
+	}
+}
+
 // TestResolveStealOverflowFallsBack pins the packed-range guard: loops
 // whose trip count cannot be packed into 32-bit bounds resolve to Dynamic
 // (uniformly across a team — Resolve is pure), everything below passes

@@ -1,0 +1,19 @@
+// Package sched implements the loop-scheduling policies of AOmpLib's `for`
+// work-sharing construct (paper §III.C/§IV): static by blocks, static
+// cyclic, dynamic (chunked self-scheduling), guided, steal (chunks stolen
+// from per-worker shares rather than dispensed from one counter), and
+// case-specific (user-supplied) schedules such as the one the Sparse
+// benchmark requires (paper Table 2, "FOR (Case Specific)").
+//
+// A for method exposes its loop as the triple (start, end, step) in its
+// first three int parameters; schedulers rewrite that triple per worker.
+// All computations are done in *iteration-index space* (0..Count) and
+// mapped back to loop values, so remainders are distributed exactly and
+// every iteration is executed exactly once — properties the tests verify
+// with testing/quick.
+//
+// The package also carries the policy knobs shared by the facade and the
+// parallel algorithms layer: Kind (with Resolve/ParseKind for the
+// runtime/auto bindings) and AutoGrain, the default task grain used when
+// a caller does not pick one.
+package sched

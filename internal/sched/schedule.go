@@ -148,6 +148,32 @@ func Resolve(k Kind, count, nthreads int) Kind {
 	return k
 }
 
+// autoGrainMin is the smallest chunk AutoGrain hands out: below it the
+// per-piece dispatch cost dominates any body cheap enough to want a
+// computed grain in the first place.
+const autoGrainMin = 16
+
+// autoGrainPieces bounds how many pieces AutoGrain cuts a space into.
+// 256 gives a wide team plenty of units to balance with while keeping the
+// split tree (and a Reduce's partial array) small.
+const autoGrainPieces = 256
+
+// AutoGrain picks a grainsize for decomposing an n-iteration generic
+// range (parallel.For nesting, Reduce/Scan chunking) when the caller gave
+// none. It is deliberately a pure function of n — never of the team
+// width — so the decomposition shape, and therefore the combine tree of a
+// deterministic Reduce/Scan, is identical at every width.
+func AutoGrain(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	g := (n + autoGrainPieces - 1) / autoGrainPieces
+	if g < autoGrainMin {
+		g = autoGrainMin
+	}
+	return g
+}
+
 // ScheduleFunc is the extension point for case-specific schedules: given
 // the worker id, team size and full iteration space it returns the
 // sub-spaces that worker must execute. Implementations must together cover

@@ -1,0 +1,108 @@
+package parallel_test
+
+import (
+	"fmt"
+	"strings"
+
+	"aomplib/parallel"
+)
+
+func ExampleFor() {
+	squares := make([]int, 8)
+	parallel.For(0, len(squares), func(i int) {
+		squares[i] = i * i
+	}, parallel.WithThreads(4))
+	fmt.Println(squares)
+	// Output: [0 1 4 9 16 25 36 49]
+}
+
+func ExampleForRange() {
+	// The range-chunk variant: the body receives whole sub-ranges, one per
+	// scheduling unit, so per-call overhead amortizes over the chunk.
+	data := make([]float64, 1000)
+	parallel.ForRange(0, len(data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = float64(i) * 0.5
+		}
+	}, parallel.WithThreads(4), parallel.WithSchedule(parallel.Steal))
+	fmt.Println(data[10], data[999])
+	// Output: 5 499.5
+}
+
+func ExampleReduce() {
+	// Sum of squares of 1..100. The combine tree is fixed by the input
+	// length and grain, so the result is identical at any team width.
+	sum := parallel.Reduce(1, 101, 0,
+		func(lo, hi int, acc int) int {
+			for i := lo; i < hi; i++ {
+				acc += i * i
+			}
+			return acc
+		},
+		func(a, b int) int { return a + b },
+		parallel.WithThreads(4), parallel.WithGrain(16))
+	fmt.Println(sum)
+	// Output: 338350
+}
+
+func ExampleScan() {
+	// In-place inclusive prefix sum (running total).
+	xs := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	parallel.Scan(xs, 0, func(a, b int) int { return a + b },
+		parallel.WithThreads(4), parallel.WithGrain(2))
+	fmt.Println(xs)
+	// Output: [3 4 8 9 14 23 25 31]
+}
+
+func ExampleSort() {
+	words := []string{"pear", "apple", "fig", "date", "cherry", "banana"}
+	parallel.Sort(words, func(a, b string) bool { return a < b },
+		parallel.WithThreads(4), parallel.WithGrain(2))
+	fmt.Println(words)
+	// Output: [apple banana cherry date fig pear]
+}
+
+func ExamplePipeline() {
+	// A three-stage stream: parallel middle stage between two serial
+	// in-order endpoints, at most 3 items in flight. The serial last stage
+	// sees items in ingestion order regardless of middle-stage timing.
+	var out strings.Builder
+	next := 0
+	parallel.Pipeline(3,
+		func() (int, bool) { // source: the numbers 0..4
+			if next >= 5 {
+				return 0, false
+			}
+			next++
+			return next - 1, true
+		},
+		[]parallel.Stage[int]{
+			parallel.ParallelStage(func(v int) int { return v * v }),
+			parallel.SerialStage(func(v int) int {
+				fmt.Fprintf(&out, "%d ", v)
+				return v
+			}),
+		},
+		parallel.WithThreads(4))
+	fmt.Println(out.String())
+	// Output: 0 1 4 9 16
+}
+
+func ExampleFlowGraph() {
+	// A diamond: fetch runs first, two independent transforms run in
+	// parallel, publish runs last.
+	var a, b int
+	g := parallel.NewFlowGraph()
+	fetch := g.Node("fetch", func() { a, b = 2, 3 })
+	double := g.Node("double", func() { a *= 2 })
+	triple := g.Node("triple", func() { b *= 3 })
+	publish := g.Node("publish", func() { fmt.Println(a + b) })
+	g.Edge(fetch, double)
+	g.Edge(fetch, triple)
+	g.Edge(double, publish)
+	g.Edge(triple, publish)
+	if err := g.Run(parallel.WithThreads(4)); err != nil {
+		fmt.Println("cycle:", err)
+	}
+	// Output: 13
+}

@@ -1,0 +1,194 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aomplib/internal/rt"
+)
+
+// Stage is one step of a Pipeline: Fn transforms an item, and Serial
+// marks the stage as serial in-order (at most one item inside the stage
+// at a time, in ingestion order — a oneTBB serial_in_order filter).
+// Construct with SerialStage/ParallelStage, or fill the struct directly.
+type Stage[T any] struct {
+	// Fn transforms one item. Parallel stages may run Fn concurrently on
+	// different items; Fn must not retain its argument past return.
+	Fn func(T) T
+	// Serial serializes the stage in ingestion order.
+	Serial bool
+}
+
+// SerialStage returns a serial in-order stage: items pass through fn one
+// at a time, in the order the source produced them. Use it for stages
+// that touch shared state (writers, accumulators) or that must preserve
+// stream order.
+func SerialStage[T any](fn func(T) T) Stage[T] { return Stage[T]{Fn: fn, Serial: true} }
+
+// ParallelStage returns a parallel stage: any number of in-flight items
+// may be inside fn concurrently.
+func ParallelStage[T any](fn func(T) T) Stage[T] { return Stage[T]{Fn: fn} }
+
+// Pipeline streams items from source through stages with at most tokens
+// items in flight, returning when the source is exhausted and every
+// admitted item has left the last stage. It is bounded-token streaming in
+// the oneTBB parallel_pipeline style: the token count is the only
+// buffering — a full pipeline stops pulling from the source (backpressure)
+// rather than queueing unboundedly.
+//
+// Each admitted item holds one token from rt.TokenPool until it leaves
+// the last stage; the per-item stage chain and the serial-stage ordering
+// are expressed as dependence-tracked tasks (rt.SpawnDep) on the team's
+// deques, so parallel stages of different items overlap freely while a
+// serial stage processes items strictly in ingestion order. The ingesting
+// worker helps execute stage tasks whenever it waits for a token, so even
+// a one-worker team makes progress.
+//
+// source runs on a single goroutine and returns (item, false) to end the
+// stream. A panic in a stage cancels the pipeline: the source is no
+// longer polled, in-flight items drain without running further stage
+// functions, and the first panic value is re-raised to the caller.
+// Called inside an existing parallel region, Pipeline spawns onto the
+// current team instead of opening a nested region.
+func Pipeline[T any](tokens int, source func() (T, bool), stages []Stage[T], opts ...Opt) {
+	if len(stages) == 0 {
+		for {
+			if _, ok := source(); !ok {
+				return
+			}
+		}
+	}
+	if tokens < 1 {
+		tokens = 1
+	}
+	p := newPipeRun(tokens, stages)
+	if rt.Current() != nil {
+		rt.TaskGroupScope(func() { p.ingest(source) })
+	} else {
+		c := apply(opts)
+		width := c.threads
+		if width < 1 {
+			width = rt.DefaultThreads()
+		}
+		rt.Region(width, func(w *rt.Worker) {
+			if w.ID == 0 {
+				p.ingest(source)
+			}
+			// Non-ingesting workers fall through to the region-end join,
+			// where they execute stage tasks until the stream drains.
+		})
+	}
+	if p.panicVal != nil {
+		panic(p.panicVal)
+	}
+}
+
+// pipeSlot is the reusable carrier of one in-flight item. Its dependence
+// keys, Deps views and stage-task closures are built once per slot: a
+// steady-state pipeline spawns preallocated bodies with preallocated
+// dependence lists.
+type pipeSlot[T any] struct {
+	val    T
+	failed bool
+	idx    int
+	keys   []byte    // keys[s] is the dependence address of stage s
+	deps   []rt.Deps // deps[s] for this slot's stage-s task
+	bodies []func()  // bodies[s] runs stage s on this slot
+}
+
+// pipeRun is the shared state of one Pipeline call.
+type pipeRun[T any] struct {
+	stages     []Stage[T]
+	slots      []*pipeSlot[T]
+	serialKeys []byte // serialKeys[s] orders serial stage s across items
+	tok        *rt.TokenPool
+	freeIdx    chan int
+	canceled   atomic.Bool
+	panicMu    sync.Mutex
+	panicVal   any
+}
+
+// newPipeRun builds the slot table for a tokens-bounded run over stages.
+func newPipeRun[T any](tokens int, stages []Stage[T]) *pipeRun[T] {
+	p := &pipeRun[T]{
+		stages:     stages,
+		slots:      make([]*pipeSlot[T], tokens),
+		serialKeys: make([]byte, len(stages)),
+		tok:        rt.NewTokenPool(tokens),
+		freeIdx:    make(chan int, tokens),
+	}
+	for i := range p.slots {
+		slot := &pipeSlot[T]{
+			idx:    i,
+			keys:   make([]byte, len(stages)),
+			deps:   make([]rt.Deps, len(stages)),
+			bodies: make([]func(), len(stages)),
+		}
+		for s := range stages {
+			d := rt.Deps{Out: []any{&slot.keys[s]}}
+			if s > 0 {
+				d.In = []any{&slot.keys[s-1]}
+			}
+			if stages[s].Serial {
+				d.InOut = []any{&p.serialKeys[s]}
+			}
+			slot.deps[s] = d
+			s := s
+			slot.bodies[s] = func() { p.runStage(slot, s) }
+		}
+		p.slots[i] = slot
+		p.freeIdx <- i
+	}
+	return p
+}
+
+// ingest pulls from source and launches the stage chain of each item.
+// Runs on exactly one goroutine; Acquire is the backpressure point (and,
+// on a worker, a task scheduling point).
+func (p *pipeRun[T]) ingest(source func() (T, bool)) {
+	for !p.canceled.Load() {
+		v, ok := source()
+		if !ok {
+			return
+		}
+		p.tok.Acquire()
+		idx := <-p.freeIdx // a released token implies a free slot: never blocks
+		slot := p.slots[idx]
+		slot.val, slot.failed = v, false
+		for s := range p.stages {
+			rt.SpawnDep(slot.bodies[s], slot.deps[s])
+		}
+	}
+}
+
+// runStage executes stage s on a slot, skipping the stage function for
+// failed items or a canceled pipeline so the stream always drains; the
+// last stage recycles the slot and returns the item's token.
+func (p *pipeRun[T]) runStage(slot *pipeSlot[T], s int) {
+	if !slot.failed && !p.canceled.Load() {
+		p.applyStage(slot, s)
+	}
+	if s == len(p.stages)-1 {
+		var zero T
+		slot.val = zero
+		p.freeIdx <- slot.idx
+		p.tok.Release()
+	}
+}
+
+// applyStage runs one stage function under a recover that records the
+// first panic and flips the pipeline to canceled.
+func (p *pipeRun[T]) applyStage(slot *pipeSlot[T], s int) {
+	defer func() {
+		if r := recover(); r != nil {
+			slot.failed = true
+			p.canceled.Store(true)
+			p.panicMu.Lock()
+			if p.panicVal == nil {
+				p.panicVal = r
+			}
+			p.panicMu.Unlock()
+		}
+	}()
+	slot.val = p.stages[s].Fn(slot.val)
+}

@@ -1,0 +1,166 @@
+package parallel_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"aomplib/parallel"
+)
+
+func TestPipelineProcessesEveryItemInOrder(t *testing.T) {
+	const items = 500
+	for _, tokens := range []int{1, 2, 4, 16} {
+		for _, width := range []int{1, 2, 4, 8} {
+			next := 0
+			var got []int
+			parallel.Pipeline(tokens,
+				func() (int, bool) {
+					if next >= items {
+						return 0, false
+					}
+					next++
+					return next - 1, true
+				},
+				[]parallel.Stage[int]{
+					parallel.ParallelStage(func(v int) int { return v * 3 }),
+					parallel.SerialStage(func(v int) int {
+						got = append(got, v) // serial in-order: no lock needed
+						return v
+					}),
+				},
+				parallel.WithThreads(width))
+			if len(got) != items {
+				t.Fatalf("tokens=%d width=%d: %d items, want %d", tokens, width, len(got), items)
+			}
+			for i, v := range got {
+				if v != i*3 {
+					t.Fatalf("tokens=%d width=%d: got[%d]=%d, want %d (serial stage out of order)", tokens, width, i, v, i*3)
+				}
+			}
+		}
+	}
+}
+
+func TestPipelineTokenBoundNeverExceeded(t *testing.T) {
+	// The acceptance property of bounded-token streaming: the number of
+	// items between entering the first stage and leaving the last never
+	// exceeds the token count. Tracked with an in-flight high-water mark;
+	// run under -race this is also the concurrency stress.
+	const items = 2000
+	for _, tokens := range []int{1, 2, 3, 8} {
+		var inFlight, highWater atomic.Int64
+		next := 0
+		parallel.Pipeline(tokens,
+			func() (int, bool) {
+				if next >= items {
+					return 0, false
+				}
+				next++
+				return next - 1, true
+			},
+			[]parallel.Stage[int]{
+				parallel.ParallelStage(func(v int) int {
+					cur := inFlight.Add(1)
+					for {
+						hw := highWater.Load()
+						if cur <= hw || highWater.CompareAndSwap(hw, cur) {
+							break
+						}
+					}
+					return v
+				}),
+				parallel.ParallelStage(func(v int) int { return v + 1 }),
+				parallel.SerialStage(func(v int) int {
+					inFlight.Add(-1)
+					return v
+				}),
+			},
+			parallel.WithThreads(4))
+		if hw := highWater.Load(); hw > int64(tokens) {
+			t.Fatalf("tokens=%d: high-water mark %d exceeds the bound", tokens, hw)
+		}
+		if fl := inFlight.Load(); fl != 0 {
+			t.Fatalf("tokens=%d: %d items still in flight after drain", tokens, fl)
+		}
+	}
+}
+
+func TestPipelinePanicCancelsAndDrains(t *testing.T) {
+	// A panicking stage must cancel the stream: the source stops being
+	// polled (no unbounded pulls), the pipeline drains without deadlock,
+	// and the panic surfaces to the caller.
+	const panicAt = 40
+	for _, width := range []int{1, 4} {
+		pulled := 0
+		var afterPanic atomic.Int32
+		func() {
+			defer func() {
+				if r := recover(); r != "stage-boom" {
+					t.Fatalf("width=%d: recover = %v, want stage-boom", width, r)
+				}
+			}()
+			parallel.Pipeline(4,
+				func() (int, bool) {
+					pulled++
+					return pulled, pulled <= 100_000
+				},
+				[]parallel.Stage[int]{
+					parallel.ParallelStage(func(v int) int {
+						if v == panicAt {
+							panic("stage-boom")
+						}
+						return v
+					}),
+					parallel.SerialStage(func(v int) int {
+						if v == panicAt {
+							afterPanic.Add(1)
+						}
+						return v
+					}),
+				},
+				parallel.WithThreads(width))
+			t.Fatalf("width=%d: Pipeline returned instead of panicking", width)
+		}()
+		if pulled >= 100_000 {
+			t.Fatalf("width=%d: source fully drained after cancellation (%d pulls)", width, pulled)
+		}
+		if afterPanic.Load() != 0 {
+			t.Fatalf("width=%d: failed item reached a later stage", width)
+		}
+	}
+}
+
+func TestPipelineNestedInsideRegion(t *testing.T) {
+	var total atomic.Int64
+	parallel.For(0, 4, func(lane int) {
+		next := 0
+		parallel.Pipeline(2,
+			func() (int, bool) {
+				if next >= 50 {
+					return 0, false
+				}
+				next++
+				return next, true
+			},
+			[]parallel.Stage[int]{
+				parallel.ParallelStage(func(v int) int { return v * 2 }),
+				parallel.SerialStage(func(v int) int { total.Add(int64(v)); return v }),
+			})
+	}, parallel.WithThreads(2))
+	// 4 lanes × 2 × (1+..+50) = 4 × 2550 = 10200
+	if got := total.Load(); got != 10200 {
+		t.Fatalf("nested pipelines total = %d, want 10200", got)
+	}
+}
+
+func TestPipelineNoStages(t *testing.T) {
+	// Zero stages: the source is drained and nothing else happens.
+	n := 0
+	parallel.Pipeline(3, func() (int, bool) {
+		n++
+		return n, n < 10
+	}, nil)
+	if n != 10 {
+		t.Fatalf("source pulled %d times, want 10", n)
+	}
+}

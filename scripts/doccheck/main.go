@@ -1,0 +1,166 @@
+// Command doccheck fails (exit 1) when an exported top-level identifier —
+// function, method, type, or const/var name — in any of the given package
+// directories lacks a doc comment. It is the CI docs gate for the public
+// packages (the parallel algorithms layer and the facade): an exported API
+// without godoc is a build failure, not a review nit.
+//
+// Usage:
+//
+//	go run ./scripts/doccheck ./parallel .
+//
+// A const/var group is considered documented if either the grouped decl
+// or the individual spec carries a comment. Test files are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir> [more dirs]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range dirs {
+		missing, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Printf("%s: exported %s is missing a doc comment\n", m.pos, m.name)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("doccheck: %d exported identifiers lack doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// finding is one undocumented exported identifier.
+type finding struct {
+	pos  string
+	name string
+}
+
+// checkDir parses every non-test .go file in dir and reports exported
+// top-level identifiers without doc comments.
+func checkDir(dir string) ([]finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []finding
+	for _, pkg := range pkgs {
+		files := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			files = append(files, name)
+		}
+		// Deterministic order for stable CI output.
+		for _, name := range sorted(files) {
+			out = append(out, checkFile(fset, pkg.Files[name])...)
+		}
+	}
+	return out, nil
+}
+
+// checkFile walks one file's top-level declarations.
+func checkFile(fset *token.FileSet, f *ast.File) []finding {
+	var out []finding
+	report := func(pos token.Pos, name string) {
+		p := fset.Position(pos)
+		out = append(out, finding{
+			pos:  fmt.Sprintf("%s:%d", filepath.ToSlash(p.Filename), p.Line),
+			name: name,
+		})
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !receiverExported(d) {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), funcLabel(d))
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						report(s.Pos(), "type "+s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					documented := d.Doc != nil || s.Doc != nil || s.Comment != nil
+					for _, n := range s.Names {
+						if n.IsExported() && !documented {
+							report(n.Pos(), kindWord(d.Tok)+" "+n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (methods on unexported types are not public API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = v.X
+		case *ast.IndexListExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcLabel renders "func Name" or "method (T).Name" for findings.
+func funcLabel(d *ast.FuncDecl) string {
+	if d.Recv == nil {
+		return "func " + d.Name.Name
+	}
+	return "method " + d.Name.Name
+}
+
+// kindWord maps a GenDecl token to its keyword.
+func kindWord(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// sorted returns names in lexical order.
+func sorted(names []string) []string {
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

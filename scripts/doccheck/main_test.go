@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestCheckDirFindsUndocumentedExports(t *testing.T) {
+	missing, err := checkDir("testdata/bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"func Undocumented":  true,
+		"type Widget":        true,
+		"method Method":      true,
+		"const MissingConst": true,
+	}
+	got := map[string]bool{}
+	for _, m := range missing {
+		got[m.name] = true
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("missing finding for %s (got %v)", name, missing)
+		}
+	}
+	for name := range got {
+		if !want[name] {
+			t.Errorf("false positive: %s", name)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package bad is the doccheck test fixture: one documented and several
+// undocumented exported identifiers.
+package bad
+
+// Documented has a doc comment and must not be reported.
+func Documented() {}
+
+func Undocumented() {}
+
+type Widget struct{}
+
+func (w *Widget) Method() {}
+
+// quiet is unexported and must not be reported.
+func quiet() { _ = MissingConst }
+
+const MissingConst = 1
+
+// DocumentedConst is fine.
+const DocumentedConst = 2
