@@ -127,20 +127,32 @@ type Schedule = sched.Kind
 // Work-sharing schedules (paper Table 1: staticBlock, staticCyclic,
 // dynamic; guided, steal, auto, runtime and case-specific are the
 // documented extensions). Auto picks StaticBlock or Guided per encounter
-// from the trip count and team size; Runtime resolves to the process-wide
-// default set with SetDefaultSchedule (the OMP_SCHEDULE analogue). Steal
-// carves one contiguous range per worker and lets workers that run dry
-// steal half a loaded sibling's remainder (the nonmonotonic:dynamic
-// analogue): dynamic-grade balancing with static-grade dispensing cost.
+// from the trip count and team size, then re-tunes re-encounters of the
+// same construct from the imbalance the previous encounter measured;
+// Runtime resolves to the process-wide default set with
+// SetDefaultSchedule (the OMP_SCHEDULE analogue). Steal carves one
+// contiguous range per worker and lets workers that run dry steal half a
+// loaded sibling's remainder (the nonmonotonic:dynamic analogue):
+// dynamic-grade balancing with static-grade dispensing cost.
+// WeightedSteal is Steal made asymmetry-aware: initial ranges are carved
+// proportionally to each worker's measured speed (an EWMA trained on the
+// hot team across loop encounters) and thieves pick the most-loaded
+// victim, so slow workers — efficiency cores, throttled cores, noisy
+// neighbours — are handed less work up front instead of being bailed out
+// chunk by chunk. Adaptive is the fully feedback-driven kind: every
+// encounter of the construct re-decides kind and chunk from the last
+// encounter's measured imbalance, starting from WeightedSteal.
 const (
-	StaticBlock  = sched.StaticBlock
-	StaticCyclic = sched.StaticCyclic
-	Dynamic      = sched.Dynamic
-	Guided       = sched.Guided
-	Steal        = sched.Steal
-	CaseSpecific = sched.Custom
-	Auto         = sched.Auto
-	Runtime      = sched.Runtime
+	StaticBlock   = sched.StaticBlock
+	StaticCyclic  = sched.StaticCyclic
+	Dynamic       = sched.Dynamic
+	Guided        = sched.Guided
+	Steal         = sched.Steal
+	CaseSpecific  = sched.Custom
+	Auto          = sched.Auto
+	Runtime       = sched.Runtime
+	WeightedSteal = sched.WeightedSteal
+	Adaptive      = sched.Adaptive
 )
 
 // ParseSchedule resolves a schedule name ("staticBlock", "dynamic",
@@ -360,6 +372,17 @@ var SetHotTeams = core.SetHotTeams
 
 // HotTeamsEnabled reports whether parallel regions reuse pooled teams.
 var HotTeamsEnabled = core.HotTeamsEnabled
+
+// SetAsymSpin installs a software model of an asymmetric multicore for
+// benchmarks and tests on symmetric machines: the worker with team ID i
+// executes spins[i] busy-work units per loop iteration it runs (one unit
+// is one multiply-add). Workers beyond the slice, and all workers when
+// spins is nil or empty, run unthrottled. The throttle applies to every
+// schedule equally — it models slow hardware, not a slow schedule — so
+// schedule comparisons under it are fair; it is how jgfbench -asym makes
+// WeightedSteal's speed-proportional carving measurable without
+// efficiency cores. Not intended for production use.
+var SetAsymSpin = rt.SetAsymSpin
 
 // SetPoolSize bounds how many workers the hot-team pool may keep parked
 // between regions (0 restores the default of four default-sized teams).

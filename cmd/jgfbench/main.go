@@ -115,6 +115,32 @@ func parseThreads(s string) []int {
 	return out
 }
 
+// parseAsym parses the -asym spec — comma-separated worker:spins pairs —
+// into the per-worker spin table (index = team worker ID). Malformed
+// pairs are hard errors: a silently ignored throttle would invalidate the
+// asymmetry comparison the flag exists for.
+func parseAsym(s string) []int {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var spins []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		id, units, ok := strings.Cut(part, ":")
+		w, err1 := strconv.Atoi(strings.TrimSpace(id))
+		u, err2 := strconv.Atoi(strings.TrimSpace(units))
+		if !ok || err1 != nil || err2 != nil || w < 0 || u < 0 {
+			fmt.Fprintf(os.Stderr, "jgfbench: bad -asym pair %q (want worker:spins, e.g. 0:300)\n", part)
+			os.Exit(2)
+		}
+		for len(spins) <= w {
+			spins = append(spins, 0)
+		}
+		spins[w] = u
+	}
+	return spins
+}
+
 // parseOnly validates the -only filter against the suite's benchmark
 // names; an unknown name is a hard error listing the valid ones, not a
 // silent empty run.
@@ -165,22 +191,37 @@ type jsonResult struct {
 	Error     string  `json:"error,omitempty"`
 }
 
+// jsonSchedStats is the scheduling-mechanism slice of the runtime's
+// observability counters, included in the report when the run was traced
+// (-trace installs the counting hooks). It is what lets an asymmetry A/B
+// compare mechanisms, not just wall time: a weighted carve that works
+// shows up as fewer loop-range steals than the uniform carve under the
+// same throttle.
+type jsonSchedStats struct {
+	StealAttempts uint64 `json:"steal_attempts"`
+	Steals        uint64 `json:"steals"`
+	StealProbes   uint64 `json:"steal_probes"`
+	BarrierWaitNs uint64 `json:"barrier_wait_ns"`
+}
+
 // jsonReport is the -json output: enough metadata to compare runs across
 // commits (the CI perf trajectory) plus every measurement. HotTeams and
 // Schedule record the runtime configuration of the run — numbers measured
 // with pooled teams or a non-default schedule must not be compared
 // against runs without them.
 type jsonReport struct {
-	Schema     int          `json:"schema"`
-	Size       string       `json:"size"`
-	Threads    []int        `json:"threads"`
-	Reps       int          `json:"reps"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	GoVersion  string       `json:"go_version"`
-	HotTeams   bool         `json:"hot_teams"`
-	Schedule   string       `json:"schedule"`
-	Timestamp  string       `json:"timestamp"`
-	Results    []jsonResult `json:"results"`
+	Schema     int             `json:"schema"`
+	Size       string          `json:"size"`
+	Threads    []int           `json:"threads"`
+	Reps       int             `json:"reps"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	GoVersion  string          `json:"go_version"`
+	HotTeams   bool            `json:"hot_teams"`
+	Schedule   string          `json:"schedule"`
+	Asym       string          `json:"asym,omitempty"`
+	Timestamp  string          `json:"timestamp"`
+	SchedStats *jsonSchedStats `json:"sched_stats,omitempty"`
+	Results    []jsonResult    `json:"results"`
 }
 
 func main() {
@@ -196,8 +237,12 @@ func main() {
 		"record the whole run and write a Chrome trace (load at ui.perfetto.dev) to this file")
 	schedule := flag.String("schedule", "",
 		"process-wide default schedule resolved by @For(schedule=runtime) constructs\n"+
-			"(staticBlock, staticCyclic, dynamic, guided, steal, auto)")
+			"(staticBlock, staticCyclic, dynamic, guided, steal, weightedSteal, adaptive, auto)")
 	hotTeams := flag.Bool("hotteams", true, "reuse pooled worker teams across region entries")
+	asym := flag.String("asym", "",
+		"simulate an asymmetric machine: comma-separated worker:spins pairs\n"+
+			"(e.g. 0:300 makes the worker with team ID 0 execute 300 extra\n"+
+			"busy-work units per loop iteration, roughly modelling a slow core)")
 	flag.Parse()
 
 	if *reps <= 0 {
@@ -216,6 +261,7 @@ func main() {
 		}
 	}
 	aomplib.SetHotTeams(*hotTeams)
+	aomplib.SetAsymSpin(parseAsym(*asym))
 
 	threads := parseThreads(*threadsFlag)
 	benches := suite(*size)
@@ -255,8 +301,21 @@ func main() {
 			}
 		}
 	}
+	var schedStats *jsonSchedStats
 	if *tracePath != "" {
-		if err := traceRun(*tracePath, runAll); err != nil {
+		traced := func() {
+			runAll()
+			// Read inside the traced window: the counting hooks are
+			// installed only while tracing, and the next StartTrace resets.
+			ev := aomplib.RuntimeStats().Events
+			schedStats = &jsonSchedStats{
+				StealAttempts: ev.StealAttempts,
+				Steals:        ev.Steals,
+				StealProbes:   ev.StealProbes,
+				BarrierWaitNs: ev.BarrierWaitNs,
+			}
+		}
+		if err := traceRun(*tracePath, traced); err != nil {
 			fmt.Fprintf(os.Stderr, "jgfbench: writing trace %s: %v\n", *tracePath, err)
 			os.Exit(1)
 		}
@@ -283,7 +342,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, *size, threads, *reps, all, seqSecs); err != nil {
+		if err := writeJSON(*jsonPath, *size, *asym, threads, *reps, schedStats, all, seqSecs); err != nil {
 			fmt.Fprintf(os.Stderr, "jgfbench: writing %s: %v\n", *jsonPath, err)
 			os.Exit(1)
 		}
@@ -295,10 +354,10 @@ func main() {
 	}
 }
 
-func writeJSON(path, size string, threads []int, reps int,
-	all []harness.Measurement, seqSecs map[string]float64) error {
+func writeJSON(path, size, asym string, threads []int, reps int,
+	schedStats *jsonSchedStats, all []harness.Measurement, seqSecs map[string]float64) error {
 	rep := jsonReport{
-		Schema:     2,
+		Schema:     3,
 		Size:       size,
 		Threads:    threads,
 		Reps:       reps,
@@ -306,7 +365,9 @@ func writeJSON(path, size string, threads []int, reps int,
 		GoVersion:  runtime.Version(),
 		HotTeams:   aomplib.HotTeamsEnabled(),
 		Schedule:   aomplib.DefaultSchedule().String(),
+		Asym:       asym,
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		SchedStats: schedStats,
 	}
 	for _, m := range all {
 		r := jsonResult{

@@ -59,16 +59,16 @@ func (a *ForAspect) NoWait() *ForAspect { f := false; a.wait = &f; return a }
 func (a *ForAspect) Wait() *ForAspect { tr := true; a.wait = &tr; return a }
 
 // implicitBarrier decides the end-of-construct barrier for the schedule an
-// encounter resolved to (Auto and Runtime resolve per encounter, so the
-// decision cannot be precomputed from the declared kind). Steal barriers
-// like dynamic: workers finish at data-dependent points after range
-// migration, so code after the construct may not assume its own static
-// share ran last.
+// encounter resolved to (Auto, Runtime and Adaptive resolve per encounter,
+// so the decision cannot be precomputed from the declared kind). The steal
+// kinds barrier like dynamic: workers finish at data-dependent points
+// after range migration, so code after the construct may not assume its
+// own static share ran last.
 func (a *ForAspect) implicitBarrier(k sched.Kind) bool {
 	if a.wait != nil {
 		return *a.wait
 	}
-	return k == sched.Dynamic || k == sched.Guided || k == sched.Steal
+	return k == sched.Dynamic || k == sched.Guided || k == sched.Steal || k == sched.WeightedSteal
 }
 
 // AspectName implements weaver.Aspect.
@@ -110,9 +110,11 @@ func (a *ForAspect) Bindings() []weaver.Binding {
 				// allocate per chunk.
 				sc := weaver.GetCall()
 				runSub := func(sub sched.Space) {
-					if sub.Count() == 0 {
+					n := sub.Count()
+					if n == 0 {
 						return
 					}
+					rt.AsymDelay(w.ID, n)
 					*sc = *c
 					sc.Lo, sc.Hi, sc.Step = sub.Lo, sub.Hi, sub.Step
 					next(sc)
@@ -126,7 +128,7 @@ func (a *ForAspect) Bindings() []weaver.Binding {
 					for _, sub := range a.custom(w.ID, w.Team.Size, sp) {
 						runSub(sub)
 					}
-				case sched.Steal:
+				case sched.Steal, sched.WeightedSteal:
 					for {
 						sub, ok := fc.DispenseSteal()
 						if !ok {

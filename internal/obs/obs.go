@@ -85,6 +85,18 @@ type Hooks struct {
 	StealAttempt func(w WorkerID)
 	StealSuccess func(w WorkerID, task uint64, victim WorkerID)
 
+	// StealScan fires when a loop-range steal scan completes — successful
+	// or fruitless — carrying the number of sibling slots probed, so
+	// victim-selection quality (probes per steal) is observable.
+	StealScan func(w WorkerID, probes int)
+
+	// LoopRate fires as a worker finishes its share of a work-sharing
+	// construct encounter, carrying the iterations it executed and the
+	// nanoseconds they took. It feeds the per-worker throughput counters
+	// behind ReadWorkerRates — the cheap, drain-free view schedulers and
+	// dashboards watch for worker asymmetry.
+	LoopRate func(w WorkerID, iters, elapsedNs int64)
+
 	// BarrierArrive fires as a worker reaches a team barrier;
 	// BarrierDepart fires as it is released, carrying the nanoseconds the
 	// worker spent waiting.

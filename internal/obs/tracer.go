@@ -26,6 +26,7 @@ type Stats struct {
 
 	StealAttempts uint64 // empty-deque probes of sibling deques
 	Steals        uint64 // probes that took a task
+	StealProbes   uint64 // sibling slots examined by loop-range steal scans
 
 	BarrierWaits  uint64 // barrier passages observed
 	BarrierWaitNs uint64 // total nanoseconds spent blocked in barriers
@@ -53,6 +54,7 @@ type counters struct {
 	tasksSpawned, tasksInlined        atomic.Uint64
 	tasksCompleted                    atomic.Uint64
 	stealAttempts, steals             atomic.Uint64
+	stealProbes                       atomic.Uint64
 	barrierWaits, barrierWaitNs       atomic.Uint64
 	depReleases                       atomic.Uint64
 	admitGrants, admitQueued          atomic.Uint64
@@ -89,10 +91,26 @@ type collector struct {
 	ringCap  int
 	maxRings int
 
+	// rates holds the per-worker throughput counters behind
+	// ReadWorkerRates, indexed and folded exactly like rings (WorkerID+1,
+	// modulo the bound). Allocated eagerly — one padded line per slot is a
+	// few KiB — so the emit path is a pure index, no growth branch.
+	rates []rateSlot
+
 	// names interns user-span labels; ids index list.
 	namesMu sync.RWMutex
 	byName  map[string]uint32
 	names   []string
+}
+
+// rateSlot is one worker's cumulative loop-rate counters, alone on a cache
+// line: each worker adds to its own slot at loop-share end, and sharing
+// lines would turn independent workers into false-sharing partners.
+type rateSlot struct {
+	iters  atomic.Int64
+	workNs atomic.Int64
+	probes atomic.Int64
+	_      [40]byte
 }
 
 func newCollector(ringCap, maxRings int) *collector {
@@ -100,6 +118,7 @@ func newCollector(ringCap, maxRings int) *collector {
 		maxRings = 2
 	}
 	c := &collector{ringCap: ringCap, maxRings: maxRings, byName: map[string]uint32{}}
+	c.rates = make([]rateSlot, maxRings)
 	c.rings.Store(&[]*ring{})
 	return c
 }
@@ -155,6 +174,18 @@ func (c *collector) ring(w WorkerID) *ring {
 	return grown[idx]
 }
 
+// rate returns the per-worker rate slot for w, folded like ring indices.
+func (c *collector) rate(w WorkerID) *rateSlot {
+	idx := int(w) + 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.rates) {
+		idx = 1 + (idx-1)%(len(c.rates)-1)
+	}
+	return &c.rates[idx]
+}
+
 // record appends one event if a trace is recording.
 func (c *collector) record(w WorkerID, ev Event) {
 	if !c.recording.Load() {
@@ -205,6 +236,7 @@ func (c *collector) stats() Stats {
 		TasksCompleted: c.c.tasksCompleted.Load(),
 		StealAttempts:  c.c.stealAttempts.Load(),
 		Steals:         c.c.steals.Load(),
+		StealProbes:    c.c.stealProbes.Load(),
 		BarrierWaits:   c.c.barrierWaits.Load(),
 		BarrierWaitNs:  c.c.barrierWaitNs.Load(),
 		DepReleases:    c.c.depReleases.Load(),
@@ -302,6 +334,17 @@ func (c *collector) hooks() *Hooks {
 		StealSuccess: func(w WorkerID, task uint64, victim WorkerID) {
 			c.c.steals.Add(1)
 			c.record(w, Event{Kind: EvStealSuccess, Task: task, Arg: uint64(uint32(victim))})
+		},
+		StealScan: func(w WorkerID, probes int) {
+			// Counter only, like StealAttempt: scan lengths aggregate, they
+			// are not timeline moments.
+			c.c.stealProbes.Add(uint64(probes))
+			c.rate(w).probes.Add(int64(probes))
+		},
+		LoopRate: func(w WorkerID, iters, elapsedNs int64) {
+			r := c.rate(w)
+			r.iters.Add(iters)
+			r.workNs.Add(elapsedNs)
 		},
 		BarrierArrive: func(w WorkerID, team uint64) {
 			c.c.barrierWaits.Add(1)
@@ -404,6 +447,45 @@ func StopTrace(w io.Writer) error {
 
 // ReadStats snapshots the built-in tracer's aggregate counters.
 func ReadStats() Stats { return tracer.stats() }
+
+// WorkerRate is one worker's cumulative loop-throughput counters: the
+// iterations it executed inside for constructs, the nanoseconds those
+// shares took, and the sibling slots it probed while stealing loop
+// ranges. Iters/WorkNs is the worker's observed speed; a worker whose
+// ratio trails its siblings' is the asymmetric (throttled, contended,
+// or simply slower) one, and StealProbes/steals gauges how hard its
+// victim selection worked.
+type WorkerRate struct {
+	Worker      WorkerID
+	Iters       int64
+	WorkNs      int64
+	StealProbes int64
+}
+
+// ReadWorkerRates snapshots the built-in tracer's per-worker rate
+// counters without draining or pausing a trace — they are plain padded
+// atomics fed by the LoopRate/StealScan hooks, so the read is safe from
+// any goroutine at any time. Slots that never counted are omitted.
+// Workers beyond the tracer's ring bound fold onto shared slots (like
+// trace rings); a folded slot reports the lowest WorkerID that maps to
+// it. Counters accumulate while tracing is enabled and reset never —
+// callers diff snapshots for interval rates.
+func ReadWorkerRates() []WorkerRate {
+	out := make([]WorkerRate, 0, len(tracer.rates))
+	for i := range tracer.rates {
+		r := &tracer.rates[i]
+		wr := WorkerRate{
+			Worker:      WorkerID(i - 1),
+			Iters:       r.iters.Load(),
+			WorkNs:      r.workNs.Load(),
+			StealProbes: r.probes.Load(),
+		}
+		if wr.Iters != 0 || wr.WorkNs != 0 || wr.StealProbes != 0 {
+			out = append(out, wr)
+		}
+	}
+	return out
+}
 
 // InternName returns the stable id the built-in tracer files user spans
 // under — aspects intern their joinpoint names once at weave time and emit

@@ -1,0 +1,289 @@
+package rt
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"aomplib/internal/sched"
+)
+
+// This file holds the asymmetry- and feedback-aware half of loop
+// scheduling: per-worker throughput estimates (the input to weighted range
+// carving), per-construct adaptive state (the memory behind sched.Adaptive
+// and re-encountered sched.Auto), and the asymmetric-hardware simulation
+// hook benchmarks use to make the weighted-vs-uniform difference
+// measurable on symmetric CI machines.
+//
+// The estimator follows Saez et al. (arXiv:2402.07664): on asymmetric
+// multicores the useful per-worker signal is relative retired-work rate,
+// and an EWMA over recent loop shares tracks it closely enough to carve
+// static ranges by — the residual error is what the steal half of the
+// schedule mops up.
+
+// speedAlpha is the EWMA smoothing factor for worker speed estimates.
+// 1/4 reaches ~90% of a step change in 8 encounters — fast enough to track
+// DVFS/contention shifts, smooth enough that one noisy share (a GC pause,
+// a preemption) cannot flip the carve.
+const speedAlpha = 0.25
+
+// Speed returns the worker's measured loop throughput estimate in
+// iterations per nanosecond, or 0 while untrained. Safe from any
+// goroutine; only the worker itself writes it.
+func (w *Worker) Speed() float64 {
+	return math.Float64frombits(w.speed.Load())
+}
+
+// updateSpeed folds one finished loop share (iters iterations in ns
+// nanoseconds) into the worker's speed EWMA. Called by the owner only
+// (EndFor), so the read-modify-write needs no CAS: a plain load and store
+// on the worker's own padded line, preserving the 0 allocs/op dispatch
+// gates.
+func (w *Worker) updateSpeed(iters, ns int64) {
+	if iters <= 0 || ns <= 0 {
+		return
+	}
+	r := float64(iters) / float64(ns)
+	old := math.Float64frombits(w.speed.Load())
+	if old > 0 {
+		r = old + speedAlpha*(r-old)
+	}
+	w.speed.Store(math.Float64bits(r))
+}
+
+// speedWeightsLocked fills the team's scratch weight buffer with every
+// worker's speed estimate, for carving a weighted-steal partition. It
+// returns nil — meaning "carve uniformly" — when no worker is trained
+// yet. Workers without an estimate of their own (a worker whose whole
+// static share was stolen before it ran executes zero iterations and
+// learns nothing) are assumed average: they get the mean of the trained
+// speeds, not a near-zero weight that would starve them on their first
+// real encounter. Callers must hold t.mu (BeginFor's Instance factory
+// does); the buffer is reused across encounters and never retained by
+// the dispenser.
+func (t *Team) speedWeightsLocked() []float64 {
+	if cap(t.weights) < t.Size {
+		t.weights = make([]float64, t.Size)
+	}
+	ws := t.weights[:t.Size]
+	var sum float64
+	trained := 0
+	for i, w := range t.workers {
+		s := w.Speed()
+		if s > 0 {
+			sum += s
+			trained++
+		}
+		ws[i] = s
+	}
+	if trained == 0 {
+		return nil
+	}
+	if trained < len(ws) {
+		mean := sum / float64(trained)
+		for i, s := range ws {
+			if !(s > 0) {
+				ws[i] = mean
+			}
+		}
+	}
+	return ws
+}
+
+// maxAdaptLoops bounds the per-team adaptive state table. A program with
+// more distinct for constructs than this per team is churning construct
+// identities (e.g. closures as keys); learning is impossible there, so the
+// table resets rather than growing without bound.
+const maxAdaptLoops = 128
+
+// Adaptation thresholds on the imbalance ratio (slowest worker's share
+// time over the mean). Above adaptImbHigh the encounter wasted >25% of the
+// team at the implicit barrier — rebalance harder; below adaptImbLow the
+// loop is effectively balanced — spend the headroom on cheaper (coarser)
+// dispatch. The band between is hysteresis: oscillating between policies
+// every encounter would forfeit both benefits.
+const (
+	adaptImbHigh = 1.25
+	adaptImbLow  = 1.08
+)
+
+// adaptDefaultChunk picks the steal-chunk size for an adaptively scheduled
+// loop: 8 chunks per worker balances steal granularity (a thief can take
+// meaningful work) against dispatch cost.
+func adaptDefaultChunk(n, nthreads int) int {
+	c := n / (nthreads * 8)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// loopAdapt is the persistent adaptive state of one for construct on one
+// team: the schedule it resolved to last, and the imbalance that encounter
+// measured. kind/chunk/count/rounds are guarded by Team.mu (touched only
+// inside BeginFor's Instance factory); imb is written by the encounter's
+// last-finishing worker outside the lock, hence atomic.
+type loopAdapt struct {
+	kind   sched.Kind // concrete kind the last encounter ran under
+	chunk  int
+	count  int    // trip count the state was tuned for
+	rounds uint64 // encounters observed
+	// skewed latches once any encounter measured high imbalance: a loop
+	// that needed balancing once may need it again, so balanced
+	// re-encounters then coarsen the chunk instead of dropping all the
+	// way back to static dispatch (which would oscillate under
+	// asymmetry: uniform static carve → skew → weighted → balanced →
+	// static → skew …).
+	skewed bool
+	imb    atomic.Uint64 // float64 bits: last max/mean share-time ratio
+}
+
+// imbalance returns the last published imbalance ratio, or 0 when no
+// encounter has completed yet.
+func (a *loopAdapt) imbalance() float64 {
+	return math.Float64frombits(a.imb.Load())
+}
+
+// publish records the imbalance the just-finished encounter measured.
+func (a *loopAdapt) publish(imb float64) {
+	a.imb.Store(math.Float64bits(imb))
+}
+
+// adaptMeasurable reports whether per-share wall times can measure
+// cross-worker imbalance for a team of the given size. When the team's
+// workers time-share fewer processors than the team has members, every
+// share's elapsed time includes the time the worker spent descheduled
+// while its siblings ran — balanced loops then measure imbalance ratios
+// approaching the team size, and re-tuning on that noise makes every
+// loop converge to fine-grained stealing it doesn't need. In that
+// regime the adaptive state keeps whatever it last resolved to. A var
+// so tests can force the measured path on single-CPU machines.
+var adaptMeasurable = func(teamSize int) bool {
+	return runtime.GOMAXPROCS(0) >= teamSize
+}
+
+// adaptResolveLocked resolves one encounter of an Adaptive (or
+// re-encountered Auto) for construct to a concrete schedule, creating or
+// updating the construct's persistent state. declared is Adaptive or Auto
+// (Runtime already unwrapped). Callers must hold t.mu.
+//
+// Policy: the first sight of a loop (or a reshaped trip count) gets the
+// shape heuristic — exactly Auto's static/guided choice — so an adaptive
+// loop costs nothing over auto until there is measurement to act on; on
+// an oversubscribed team (see adaptMeasurable) it gets static block
+// instead, because dispensing overhead cannot be repaid when the workers
+// time-share the CPUs and the feedback below is blind there. Measured
+// re-encounters act on the imbalance: too skewed → move to weighted
+// steal, whose carve absorbs the asymmetry, or halve the chunk if
+// already balancing (finer grain gives thieves more rebalancing
+// currency); well balanced → drop back to static dispatch if the loop
+// never needed balancing, else coarsen the chunk (cheaper dispatch
+// either way); in between → keep what works.
+func (t *Team) adaptResolveLocked(key any, declared sched.Kind, n, chunk int) (sched.Kind, int, *loopAdapt) {
+	if t.adapt == nil {
+		t.adapt = make(map[any]*loopAdapt)
+	}
+	st := t.adapt[key]
+	if st == nil {
+		if len(t.adapt) >= maxAdaptLoops {
+			clear(t.adapt)
+		}
+		st = &loopAdapt{}
+		t.adapt[key] = st
+	}
+	st.rounds++
+	k, c := st.kind, st.chunk
+	switch {
+	case st.rounds == 1 || st.count != n:
+		// First sight, or the loop changed shape: tune from shape alone.
+		if adaptMeasurable(t.Size) {
+			k, c = sched.Resolve(sched.Auto, n, t.Size), chunk
+		} else {
+			k, c = sched.StaticBlock, chunk
+		}
+	case !adaptMeasurable(t.Size):
+		// Imbalance is unmeasurable here (see adaptMeasurable): keep the
+		// last resolution rather than re-tune on scheduler noise.
+	default:
+		switch imb := st.imbalance(); {
+		case imb > adaptImbHigh:
+			st.skewed = true
+			if k != sched.WeightedSteal && k != sched.Dynamic {
+				k = sched.WeightedSteal
+				c = adaptDefaultChunk(n, t.Size)
+			} else if c > 1 {
+				c /= 2
+			}
+		case imb > 0 && imb < adaptImbLow:
+			if !st.skewed && k != sched.StaticBlock && k != sched.StaticCyclic {
+				// Balanced and never needed balancing: pay zero dispatch.
+				// Static encounters keep measuring imbalance (EndFor
+				// reconstructs static share counts), so the loop upgrades
+				// back the moment skew appears.
+				k = sched.StaticBlock
+			} else if next := c * 2; next <= n/(2*t.Size) {
+				// Balanced but once-skewed (or already static): coarsen
+				// dispatch instead, capped so every worker still sees two
+				// chunks' worth of rebalancing slack.
+				c = next
+			}
+		}
+	}
+	k = sched.Resolve(k, n, t.Size) // WeightedSteal > 2^31 iters → Dynamic
+	st.kind, st.chunk, st.count = k, c, n
+	return k, c, st
+}
+
+// ------------------------------------------------- asymmetry simulation --
+
+// asymSpinTab, when set, slows selected workers by spinning a fixed number
+// of units per loop iteration they execute — a software model of an
+// asymmetric multicore (efficiency cores, thermally throttled cores, a
+// noisy neighbour) for benchmarks on symmetric machines. nil when off, so
+// the per-chunk cost of the feature is one predicted-nil pointer load.
+var asymSpinTab atomic.Pointer[[]uint32]
+
+// asymSink defeats dead-code elimination of the spin loop.
+var asymSink atomic.Uint64
+
+// SetAsymSpin installs per-worker slowdown: spins[id] busy-work units are
+// executed per loop iteration by the worker with that team ID (one unit is
+// one multiply-add, a few hundred picoseconds). Workers beyond the slice,
+// and all workers when spins is nil or empty, run unthrottled. The slice
+// is copied. Intended for benchmarks (jgfbench -asym) and tests; it
+// throttles every schedule equally, so schedule comparisons under it are
+// fair.
+func SetAsymSpin(spins []int) {
+	if len(spins) == 0 {
+		asymSpinTab.Store(nil)
+		return
+	}
+	tab := make([]uint32, len(spins))
+	for i, s := range spins {
+		if s > 0 {
+			tab[i] = uint32(s)
+		}
+	}
+	asymSpinTab.Store(&tab)
+}
+
+// AsymDelay spins the calling worker for iters iterations' worth of its
+// configured slowdown. Called once per dispensed sub-range, not per
+// iteration, so the overhead when enabled is the spin itself, not loop
+// bookkeeping.
+func AsymDelay(id, iters int) {
+	p := asymSpinTab.Load()
+	if p == nil {
+		return
+	}
+	tab := *p
+	if id < 0 || id >= len(tab) || tab[id] == 0 || iters <= 0 {
+		return
+	}
+	n := uint64(tab[id]) * uint64(iters)
+	x := uint64(id)*2862933555777941757 + 3037000493
+	for i := uint64(0); i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	asymSink.Store(x)
+}

@@ -1,0 +1,370 @@
+package rt
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"aomplib/internal/obs"
+	"aomplib/internal/sched"
+)
+
+// adaptResolve drives the locked resolver the way BeginFor's Instance
+// factory does.
+func adaptResolve(t *Team, key any, declared sched.Kind, n, chunk int) (sched.Kind, int, *loopAdapt) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.adaptResolveLocked(key, declared, n, chunk)
+}
+
+// forceMeasurable makes the resolver trust measured imbalance regardless
+// of how many CPUs the test machine has, so the feedback-policy tests
+// exercise the re-tuning paths even on single-CPU runners.
+func forceMeasurable(t *testing.T) {
+	t.Helper()
+	prev := adaptMeasurable
+	adaptMeasurable = func(int) bool { return true }
+	t.Cleanup(func() { adaptMeasurable = prev })
+}
+
+// TestAdaptResolvePolicy pins the feedback policy state machine: first
+// sight tunes from shape (exactly Auto's choice), a skewed encounter
+// moves to weighted steal and then refines the chunk, a balanced one
+// coarsens it (capped), and the hysteresis band changes nothing.
+func TestAdaptResolvePolicy(t *testing.T) {
+	defer resetPool(t)()
+	forceMeasurable(t)
+	team := captureTeam(4)
+	const n = 1024
+	key := "policy-loop"
+
+	k, c, st := adaptResolve(team, key, sched.Adaptive, n, 0)
+	if want := sched.Resolve(sched.Auto, n, 4); k != want || c != 0 {
+		t.Fatalf("first sight resolved to %v chunk %d, want shape heuristic %v chunk 0", k, c, want)
+	}
+
+	st.publish(2.0) // skewed → upgrade to weighted steal at the default grain
+	k2, c2, _ := adaptResolve(team, key, sched.Adaptive, n, 0)
+	if k2 != sched.WeightedSteal || c2 != adaptDefaultChunk(n, 4) {
+		t.Fatalf("skewed re-encounter: %v chunk %d, want WeightedSteal chunk %d", k2, c2, adaptDefaultChunk(n, 4))
+	}
+
+	st.publish(2.0) // still skewed while balancing → refine grain
+	if k3, c3, _ := adaptResolve(team, key, sched.Adaptive, n, 0); k3 != sched.WeightedSteal || c3 != c2/2 {
+		t.Fatalf("second skewed re-encounter: %v chunk %d, want WeightedSteal chunk %d", k3, c3, c2/2)
+	}
+
+	st.publish(1.0) // balanced after skew → coarsen, bounded by n/(2*Size)
+	if _, c4, _ := adaptResolve(team, key, sched.Adaptive, n, 0); c4 != c2 {
+		t.Fatalf("balanced re-encounter chunk %d, want doubled back to %d", c4, c2)
+	}
+
+	st.publish(1.15) // hysteresis band → keep
+	if k5, c5, _ := adaptResolve(team, key, sched.Adaptive, n, 0); k5 != sched.WeightedSteal || c5 != c2 {
+		t.Fatalf("hysteresis re-encounter: %v chunk %d, want unchanged WeightedSteal %d", k5, c5, c2)
+	}
+
+	// A reshaped loop (new trip count) re-tunes from shape, not stale state.
+	st.publish(2.0)
+	if k6, c6, _ := adaptResolve(team, key, sched.Adaptive, 4*n, 0); k6 != sched.Resolve(sched.Auto, 4*n, 4) || c6 != 0 {
+		t.Fatalf("reshaped loop resolved to %v chunk %d, want fresh shape heuristic", k6, c6)
+	}
+}
+
+// TestAdaptResolveAutoUpgrades pins Auto's contract: the first sight
+// keeps the shape heuristic (plain Auto users see exactly what Resolve
+// gives them), and only a measured skewed re-encounter upgrades the
+// construct to the weighted steal schedule.
+func TestAdaptResolveAutoUpgrades(t *testing.T) {
+	defer resetPool(t)()
+	forceMeasurable(t)
+	team := captureTeam(4)
+	const n = 4096
+	key := "auto-loop"
+
+	k, _, st := adaptResolve(team, key, sched.Auto, n, 0)
+	if want := sched.Resolve(sched.Auto, n, 4); k != want {
+		t.Fatalf("Auto first sight resolved to %v, want shape heuristic %v", k, want)
+	}
+	st.publish(3.0)
+	if k2, _, _ := adaptResolve(team, key, sched.Auto, n, 0); k2 != sched.WeightedSteal {
+		t.Fatalf("Auto after measured imbalance resolved to %v, want WeightedSteal", k2)
+	}
+	st.publish(1.0)
+	if k3, _, _ := adaptResolve(team, key, sched.Auto, n, 0); k3 != sched.WeightedSteal {
+		t.Fatalf("balanced Auto re-encounter fell back to %v, want to keep WeightedSteal", k3)
+	}
+}
+
+// TestAdaptStateTableBounded pins the runaway-key guard: more distinct
+// constructs than maxAdaptLoops reset the table instead of growing it
+// without bound.
+func TestAdaptStateTableBounded(t *testing.T) {
+	defer resetPool(t)()
+	team := captureTeam(2)
+	for i := 0; i < maxAdaptLoops+10; i++ {
+		adaptResolve(team, i, sched.Adaptive, 256, 0)
+	}
+	team.mu.Lock()
+	size := len(team.adapt)
+	team.mu.Unlock()
+	if size > maxAdaptLoops {
+		t.Fatalf("adapt table grew to %d entries, bound is %d", size, maxAdaptLoops)
+	}
+}
+
+// TestSpeedWeightsMeanFill pins the estimator's partial-training rule:
+// untrained workers (a worker whose share was wholly stolen never
+// executes an iteration) are assumed average, not starved, and a fully
+// untrained team carves uniformly (nil weights).
+func TestSpeedWeightsMeanFill(t *testing.T) {
+	defer resetPool(t)()
+	team := captureTeam(3)
+	team.mu.Lock()
+	ws := team.speedWeightsLocked()
+	team.mu.Unlock()
+	if ws != nil {
+		t.Fatalf("untrained team produced weights %v, want nil (uniform carve)", ws)
+	}
+	team.workers[0].updateSpeed(2000, 1000) // 2.0 iters/ns
+	team.workers[2].updateSpeed(1000, 1000) // 1.0 iters/ns
+	team.mu.Lock()
+	ws = team.speedWeightsLocked()
+	team.mu.Unlock()
+	want := []float64{2.0, 1.5, 1.0} // untrained worker 1 gets the trained mean
+	for i, w := range want {
+		if ws[i] != w {
+			t.Fatalf("weights = %v, want %v", ws, want)
+		}
+	}
+}
+
+// TestSpeedEWMASmoothing pins the estimator: the first share sets the
+// rate, later shares move it by alpha toward the new measurement, and
+// degenerate shares (zero iterations or time) change nothing.
+func TestSpeedEWMASmoothing(t *testing.T) {
+	w := &Worker{}
+	w.updateSpeed(0, 100) // degenerate: ignored
+	w.updateSpeed(100, 0)
+	if s := w.Speed(); s != 0 {
+		t.Fatalf("degenerate shares trained speed to %v", s)
+	}
+	w.updateSpeed(1000, 1000)
+	if s := w.Speed(); s != 1.0 {
+		t.Fatalf("first share trained to %v, want 1.0", s)
+	}
+	w.updateSpeed(3000, 1000) // EWMA: 1.0 + 0.25*(3.0-1.0) = 1.5
+	if s := w.Speed(); s != 1.5 {
+		t.Fatalf("second share trained to %v, want 1.5", s)
+	}
+}
+
+// adaptSpanCount is a SpanFunc that counts iterations into a *[n]int32
+// style slice via arg.
+func countSpan(sub sched.Space, arg any) {
+	hits := arg.(*[]int32)
+	for i := 0; i < sub.Count(); i++ {
+		(*hits)[sub.At(i)]++
+	}
+}
+
+// TestHotTeamAdaptiveStatePersistsAcrossLeases pins the tentpole wiring
+// end to end: an Adaptive for construct keyed the same way re-encounters
+// its state on the hot team across region entries — the state's round
+// counter advances and the loop keeps covering every iteration exactly
+// once while re-tuning.
+func TestHotTeamAdaptiveStatePersistsAcrossLeases(t *testing.T) {
+	defer resetPool(t)()
+	const n, rounds = 512, 5
+	key := "persist-loop"
+	var team *Team
+	for r := 0; r < rounds; r++ {
+		hits := make([]int32, n)
+		ptr := &hits
+		Region(4, func(w *Worker) {
+			if w.ID == 0 {
+				team = w.Team
+			}
+			ForSpan(w, sched.Space{Lo: 0, Hi: n, Step: 1}, sched.Adaptive, key, 0, countSpan, ptr)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("round %d: iteration %d executed %d times", r, i, h)
+			}
+		}
+	}
+	team.mu.Lock()
+	st := team.adapt[key]
+	team.mu.Unlock()
+	if st == nil {
+		t.Fatal("no adaptive state survived on the hot team")
+	}
+	if st.rounds != rounds {
+		t.Fatalf("state observed %d rounds, want %d — leases dropped encounters", st.rounds, rounds)
+	}
+}
+
+// TestAdaptResolveBalancedDowngradesToStatic pins the downgrade path: a
+// loop whose shape heuristic picked a dispensing schedule (here Guided)
+// and that measures balanced — without ever having been skewed — drops
+// to static dispatch, and upgrades to weighted steal the moment skew
+// appears.
+func TestAdaptResolveBalancedDowngradesToStatic(t *testing.T) {
+	defer resetPool(t)()
+	forceMeasurable(t)
+	team := captureTeam(4)
+	key := "balanced-loop"
+	k, _, st := adaptResolve(team, key, sched.Adaptive, 1024, 0)
+	if k != sched.Guided {
+		t.Fatalf("first sight of a 1024-trip loop resolved to %v, want shape heuristic Guided", k)
+	}
+	st.publish(1.0)
+	if k, _, _ := adaptResolve(team, key, sched.Adaptive, 1024, 0); k != sched.StaticBlock {
+		t.Fatalf("balanced never-skewed loop resolved to %v, want StaticBlock", k)
+	}
+	st.publish(2.0)
+	if k, _, _ := adaptResolve(team, key, sched.Adaptive, 1024, 0); k != sched.WeightedSteal {
+		t.Fatalf("skew on a downgraded loop resolved to %v, want WeightedSteal", k)
+	}
+	// Once skewed, balanced re-encounters must NOT flip back to static —
+	// that would oscillate under asymmetry.
+	st.publish(1.0)
+	if k, _, _ := adaptResolve(team, key, sched.Adaptive, 1024, 0); k != sched.WeightedSteal {
+		t.Fatalf("balanced once-skewed loop resolved to %v, want to stay WeightedSteal", k)
+	}
+}
+
+// TestAdaptResolveUnmeasurableKeepsState pins the measurability guard:
+// when the team time-shares fewer CPUs than it has workers, per-share
+// wall times read as massive imbalance on perfectly balanced loops, so
+// the resolver must ignore the signal and keep its last resolution
+// instead of converging every loop onto fine-grained stealing.
+func TestAdaptResolveUnmeasurableKeepsState(t *testing.T) {
+	defer resetPool(t)()
+	prev := adaptMeasurable
+	adaptMeasurable = func(int) bool { return false }
+	t.Cleanup(func() { adaptMeasurable = prev })
+	team := captureTeam(4)
+	key := "unmeasurable-loop"
+	k, c, st := adaptResolve(team, key, sched.Adaptive, 1024, 0)
+	if k != sched.StaticBlock {
+		t.Fatalf("oversubscribed first sight resolved to %v, want cheapest dispatch StaticBlock", k)
+	}
+	st.publish(3.9) // time-sharing artifact, not real imbalance
+	if k2, c2, _ := adaptResolve(team, key, sched.Adaptive, 1024, 0); k2 != k || c2 != c {
+		t.Fatalf("unmeasurable re-encounter re-tuned to %v chunk %d from %v chunk %d", k2, c2, k, c)
+	}
+}
+
+// TestHotTeamAdaptiveChurnStress hammers encounter-state reuse across
+// lease/retire churn: concurrent regions each running an Adaptive loop
+// under its own key while the pool is resized and toggled underneath.
+// Runs under -race in CI (the HotTeam test pattern); correctness here is
+// exactly-once coverage and no data race on the shared adapt maps.
+func TestHotTeamAdaptiveChurnStress(t *testing.T) {
+	defer resetPool(t)()
+	prevSize := SetPoolSize(2)
+	defer SetPoolSize(prevSize)
+	const goroutines, repeats, n = 4, 8, 256
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := g // distinct construct identity per goroutine
+			for r := 0; r < repeats; r++ {
+				hits := make([]int32, n)
+				ptr := &hits
+				Region(3, func(w *Worker) {
+					ForSpan(w, sched.Space{Lo: 0, Hi: n, Step: 1}, sched.Adaptive, key, 0, countSpan, ptr)
+				})
+				for i, h := range hits {
+					if h != 1 {
+						select {
+						case errs <- "iteration executed wrong number of times":
+						default:
+						}
+						_ = i
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	churn := make(chan struct{})
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-churn:
+				return
+			default:
+			}
+			SetPoolSize(1 + i%4)
+			SetHotTeams(i%8 != 7) // brief cold windows retire teams mid-run
+			runtime.Gosched()     // keep the churn loop from starving workers
+		}
+	}()
+	wg.Wait()
+	close(churn)
+	SetHotTeams(true)
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestAsymSpinDelay pins the simulation hook's contract: only configured
+// worker ids spin, out-of-range and unconfigured ids return untouched,
+// and clearing the table disables everything.
+func TestAsymSpinDelay(t *testing.T) {
+	SetAsymSpin([]int{0, 40})
+	defer SetAsymSpin(nil)
+	before := asymSink.Load()
+	AsymDelay(0, 100) // configured 0 spins: no-op
+	AsymDelay(2, 100) // beyond the table: no-op
+	AsymDelay(-1, 100)
+	AsymDelay(1, 0) // no iterations: no-op
+	if asymSink.Load() != before {
+		t.Fatal("no-op AsymDelay calls touched the sink")
+	}
+	AsymDelay(1, 100)
+	if asymSink.Load() == before {
+		t.Fatal("configured worker did not spin")
+	}
+	SetAsymSpin(nil)
+	before = asymSink.Load()
+	AsymDelay(1, 100)
+	if asymSink.Load() != before {
+		t.Fatal("cleared table still spins")
+	}
+}
+
+// TestWorkerRatesAndStealProbes pins the observability satellites: a
+// steal-scheduled loop feeds the per-worker rate counters (iterations
+// and work time via LoopRate) and the probes-per-steal counter, visible
+// through both obs.ReadWorkerRates and obs.Stats.StealProbes.
+func TestWorkerRatesAndStealProbes(t *testing.T) {
+	defer resetPool(t)()
+	obs.EnableTracing(true)
+	defer obs.EnableTracing(false)
+	before := obs.ReadStats()
+	const n = 4096
+	hits := make([]int32, n)
+	ptr := &hits
+	Region(4, func(w *Worker) {
+		ForSpan(w, sched.Space{Lo: 0, Hi: n, Step: 1}, sched.WeightedSteal, "rates-loop", 4, countSpan, ptr)
+	})
+	after := obs.ReadStats()
+	if after.StealProbes == before.StealProbes {
+		t.Error("weighted steal loop recorded no steal probes")
+	}
+	var iters int64
+	for _, r := range obs.ReadWorkerRates() {
+		iters += r.Iters
+	}
+	if iters < n {
+		t.Errorf("worker rates account for %d iterations, want at least %d", iters, n)
+	}
+}

@@ -21,26 +21,30 @@ import (
 type SpanFunc func(sub sched.Space, arg any)
 
 // ForSpan executes worker w's share of sp under kind, invoking run for
-// each sub-range the schedule assigns to w. kind must be concrete (the
-// caller resolves Auto/Runtime once, before the region, so one loop can
-// never split across two schedules). Static kinds are served from pure
+// each sub-range the schedule assigns to w. kind must be concrete or
+// Adaptive (the caller resolves Auto/Runtime once, before the region, so
+// one loop can never split across two schedules; Adaptive resolves inside
+// the team-shared encounter state, uniformly for the whole team, from the
+// previous encounter's measurement). Static kinds are served from pure
 // arithmetic — no shared state, no allocation — which is what keeps the
-// parallel.For dispatch gate at 0 allocs/op; dynamic, guided and steal
-// route through the team-shared dispenser state of BeginFor, exactly like
-// the woven @For construct, so they inherit chunk batching, range
-// stealing and the obs work/steal events for free.
+// parallel.For dispatch gate at 0 allocs/op; dynamic, guided, steal,
+// weightedSteal and adaptive route through the team-shared dispenser
+// state of BeginFor, exactly like the woven @For construct, so they
+// inherit chunk batching, range stealing, speed-estimate training and the
+// obs work/steal events for free.
 //
 // Every worker of the team must call ForSpan for the same loop (the
 // standing work-sharing encounter contract). key identifies the loop's
 // encounter for the dispenser-backed kinds; callers pass a pointer shared
-// by the whole team (typically the region argument).
+// by the whole team (typically the region argument). For Adaptive the key
+// must additionally be stable across encounters — it names the state the
+// loop learns in.
 //
 // ForSpan performs no end-of-loop barrier: generic-layer loops are each
 // their own region, whose join is the barrier. Callers sharing one region
 // across phases (e.g. a two-pass scan) insert team barriers themselves.
 func ForSpan(w *Worker, sp sched.Space, kind sched.Kind, key any, chunk int, run SpanFunc, arg any) {
-	switch kind {
-	case sched.StaticBlock, sched.StaticCyclic:
+	if kind == sched.StaticBlock || kind == sched.StaticCyclic {
 		if h := obsHooks(); h != nil {
 			if h.WorkBegin != nil {
 				h.WorkBegin(w.gid, w.Team.tid, uint8(kind))
@@ -49,35 +53,47 @@ func ForSpan(w *Worker, sp sched.Space, kind sched.Kind, key any, chunk int, run
 				defer h.WorkEnd(w.gid, w.Team.tid)
 			}
 		}
-		var sub sched.Space
-		if kind == sched.StaticBlock {
-			sub = sched.Block(sp, w.Team.Size, w.ID)
-		} else {
-			sub = sched.Cyclic(sp, w.Team.Size, w.ID)
-		}
-		if sub.Count() > 0 {
-			run(sub, arg)
-		}
-	case sched.Steal:
-		fc := BeginFor(w, key, sp, kind, chunk)
+		runStaticSpan(w, sp, kind, run, arg)
+		return
+	}
+	fc := BeginFor(w, key, sp, kind, chunk)
+	switch fc.Kind {
+	case sched.StaticBlock, sched.StaticCyclic:
+		// An adaptive encounter resolved static this round.
+		runStaticSpan(w, sp, fc.Kind, run, arg)
+	case sched.Steal, sched.WeightedSteal:
 		for {
 			sub, ok := fc.DispenseSteal()
 			if !ok {
 				break
 			}
+			AsymDelay(w.ID, sub.Count())
 			run(sub, arg)
 		}
-		fc.EndFor()
 	default: // Dynamic, Guided
-		fc := BeginFor(w, key, sp, kind, chunk)
 		for {
 			sub, ok := fc.Dispense()
 			if !ok {
 				break
 			}
+			AsymDelay(w.ID, sub.Count())
 			run(sub, arg)
 		}
-		fc.EndFor()
+	}
+	fc.EndFor()
+}
+
+// runStaticSpan executes w's arithmetically derived static share of sp.
+func runStaticSpan(w *Worker, sp sched.Space, kind sched.Kind, run SpanFunc, arg any) {
+	var sub sched.Space
+	if kind == sched.StaticBlock {
+		sub = sched.Block(sp, w.Team.Size, w.ID)
+	} else {
+		sub = sched.Cyclic(sp, w.Team.Size, w.ID)
+	}
+	if sub.Count() > 0 {
+		AsymDelay(w.ID, sub.Count())
+		run(sub, arg)
 	}
 }
 

@@ -171,6 +171,20 @@ type Team struct {
 	tasks      *TaskGroup  // lazily created on first task spawn/wait
 	deps       *depTracker // lazily created on first @Depend spawn
 	constructs map[any]map[int64]*instanceSlot
+
+	// adapt is the per-construct adaptive scheduling state (adapt.go),
+	// keyed by the for construct's identity. Unlike constructs it is
+	// deliberately NOT cleared by beginLease: hot teams make loop
+	// encounters persistent across region entries, and that persistence is
+	// exactly what lets a re-encountered loop re-tune its schedule from
+	// the previous encounter's measured imbalance. Guarded by mu (all
+	// access happens inside BeginFor's Instance factory, which runs under
+	// mu); bounded by maxAdaptLoops.
+	adapt map[any]*loopAdapt
+	// weights is the reusable scratch buffer speedWeightsLocked fills with
+	// worker speed estimates when carving a weighted-steal partition.
+	// Guarded by mu; never retained by the dispenser.
+	weights []float64
 }
 
 type instanceSlot struct {
@@ -209,6 +223,18 @@ type Worker struct {
 	// task adopts its group so descendants join the same scope. Atomic
 	// because goroutines with inherited worker context may share w.
 	curGroup atomic.Pointer[TaskGroup]
+
+	// speed is the worker's measured loop throughput — an EWMA of
+	// iterations per nanosecond across for-construct shares, stored as
+	// float64 bits (adapt.go). The owner stores it at each EndFor; the
+	// first-arriving worker of a weighted-steal encounter reads every
+	// sibling's to carve the initial ranges. It lives on its own cache
+	// line so those cross-worker reads never drag the deque or rng lines
+	// into coherence traffic, and it survives leases — hot teams are what
+	// make the estimate trainable at all.
+	_     [64]byte
+	speed atomic.Uint64
+	_     [56]byte
 }
 
 // Barrier returns the team barrier.
@@ -445,6 +471,9 @@ func (t *Team) beginLease(parent *Worker, level int, body func(*Worker, any), ar
 		w.activeFor = w.activeFor[:0]
 		w.curGroup.Store(nil)
 	}
+	// t.adapt and the workers' speed estimates deliberately survive the
+	// reset: they are the cross-lease memory that adaptive scheduling and
+	// weighted stealing learn from (adapt.go).
 }
 
 // endLease drops the lease's references so a cached team pins neither the

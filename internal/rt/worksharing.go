@@ -2,6 +2,8 @@ package rt
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"aomplib/internal/sched"
 )
@@ -24,6 +26,14 @@ type ForContext struct {
 	// observable chunk granularity is unchanged while the team-shared
 	// cursor is touched a fraction as often.
 	batchLo, batchHi int64
+
+	// start/iters bracket this worker's share for the speed estimator:
+	// BeginFor stamps start, the dispensers accumulate iters (static kinds
+	// are reconstructed arithmetically at EndFor), and EndFor folds
+	// iters/elapsed into the worker's speed EWMA (adapt.go). Worker-local
+	// plain fields — no atomics, no allocation.
+	start time.Time
+	iters int64
 }
 
 // dispenseBatchChunks is how many dynamic chunks one shared-cursor CAS
@@ -40,12 +50,41 @@ type forShared struct {
 	// schedules (which would desynchronise the implicit barrier).
 	kind  sched.Kind
 	disp  *sched.Dispenser      // dynamic/guided only
-	sdisp *sched.StealDispenser // steal only
+	sdisp *sched.StealDispenser // steal/weightedSteal only
+
+	// adapt links the encounter to its construct's persistent adaptive
+	// state; nil when the construct is not adaptively scheduled. The
+	// imbalance measurement below feeds it: each worker folds its share
+	// time into maxNs/sumNs at EndFor, and the last finisher (left hits
+	// zero) publishes max/mean — the ratio the next encounter re-tunes on.
+	adapt    *loopAdapt
+	nthreads int
+	maxNs    atomic.Int64
+	sumNs    atomic.Int64
+	left     atomic.Int32
 
 	// ordered sequencing: next loop value whose ordered section may run.
 	omu   sync.Mutex
 	ocond *sync.Cond
 	onext int
+}
+
+// noteDone folds one worker's share time into the encounter's imbalance
+// measurement, publishing to the adaptive state when the last worker
+// finishes.
+func (fs *forShared) noteDone(elapsed int64) {
+	for {
+		cur := fs.maxNs.Load()
+		if elapsed <= cur || fs.maxNs.CompareAndSwap(cur, elapsed) {
+			break
+		}
+	}
+	sum := fs.sumNs.Add(elapsed)
+	if fs.left.Add(-1) == 0 {
+		if mean := sum / int64(fs.nthreads); mean > 0 {
+			fs.adapt.publish(float64(fs.maxNs.Load()) / float64(mean))
+		}
+	}
 }
 
 type forKey struct {
@@ -54,22 +93,43 @@ type forKey struct {
 
 // BeginFor establishes the work-sharing context for one encounter of the
 // construct identified by key on worker w. kind/chunk select the schedule;
-// indirect kinds (Runtime, Auto) resolve once per encounter in the shared
-// state, and the resolved kind is published as ForContext.Kind — callers
-// switch on it, not on the declared kind. The returned ForContext must be
-// finished with EndFor (normally deferred). Contexts are recycled through
-// a worker-private free list, so steady-state encounters of for
-// constructs allocate nothing on the worker side.
+// indirect kinds (Runtime, Auto, Adaptive) resolve once per encounter in
+// the shared state, and the resolved kind is published as ForContext.Kind
+// — callers switch on it, not on the declared kind. Adaptive — and Auto on
+// a re-encounter of the same construct — resolves through the team's
+// persistent adaptive state (adapt.go), so the schedule each encounter
+// runs under is fed by the imbalance the previous one measured. The
+// returned ForContext must be finished with EndFor (normally deferred).
+// Contexts are recycled through a worker-private free list, so
+// steady-state encounters of for constructs allocate nothing on the
+// worker side.
 func BeginFor(w *Worker, key any, sp sched.Space, kind sched.Kind, chunk int) *ForContext {
 	enc := w.NextEncounter(forKey{key})
-	shared := w.Team.Instance(forKey{key}, enc, func() any {
-		k := sched.Resolve(kind, sp.Count(), w.Team.Size)
-		fs := &forShared{kind: k, onext: sp.Lo}
+	t := w.Team
+	shared := t.Instance(forKey{key}, enc, func() any {
+		// Runs under t.mu (Instance), which also guards t.adapt/t.weights.
+		n := sp.Count()
+		declared := kind
+		if declared == sched.Runtime {
+			declared = sched.Default()
+		}
+		fs := &forShared{onext: sp.Lo, nthreads: t.Size}
+		k, c := declared, chunk
+		switch {
+		case (declared == sched.Adaptive || declared == sched.Auto) && t.Size > 1:
+			k, c, fs.adapt = t.adaptResolveLocked(key, declared, n, c)
+			fs.left.Store(int32(t.Size))
+		default:
+			k = sched.Resolve(k, n, t.Size)
+		}
+		fs.kind = k
 		switch k {
 		case sched.Dynamic, sched.Guided:
-			fs.disp = sched.NewDispenser(sp, chunk, k == sched.Guided, w.Team.Size)
+			fs.disp = sched.NewDispenser(sp, c, k == sched.Guided, t.Size)
 		case sched.Steal:
-			fs.sdisp = sched.NewStealDispenser(sp, chunk, w.Team.Size)
+			fs.sdisp = sched.NewStealDispenser(sp, c, t.Size)
+		case sched.WeightedSteal:
+			fs.sdisp = sched.NewStealDispenserWeighted(sp, c, t.Size, t.speedWeightsLocked())
 		}
 		return fs
 	}).(*forShared)
@@ -80,24 +140,45 @@ func BeginFor(w *Worker, key any, sp sched.Space, kind sched.Kind, chunk int) *F
 	} else {
 		fc = &ForContext{}
 	}
-	*fc = ForContext{Space: sp, Kind: shared.kind, Worker: w, shared: shared}
+	*fc = ForContext{Space: sp, Kind: shared.kind, Worker: w, shared: shared, start: time.Now()}
 	w.activeFor = append(w.activeFor, fc)
-	w.Team.Release(forKey{key}, enc)
+	t.Release(forKey{key}, enc)
 	if h := obsHooks(); h != nil && h.WorkBegin != nil {
-		h.WorkBegin(w.gid, w.Team.tid, uint8(shared.kind))
+		h.WorkBegin(w.gid, t.tid, uint8(shared.kind))
 	}
 	return fc
 }
 
-// EndFor pops the work-sharing context from the worker and recycles it.
+// EndFor pops the work-sharing context from the worker, folds the share's
+// measured throughput into the worker's speed estimate and the encounter's
+// imbalance measurement, and recycles the context.
 func (fc *ForContext) EndFor() {
 	w := fc.Worker
 	if n := len(w.activeFor); n > 0 && w.activeFor[n-1] == fc {
 		w.activeFor = w.activeFor[:n-1]
+		elapsed := int64(time.Since(fc.start))
+		iters := fc.iters
+		switch fc.Kind {
+		// Static shares never dispense — reconstruct the count they ran.
+		case sched.StaticBlock:
+			iters = int64(sched.Block(fc.Space, w.Team.Size, w.ID).Count())
+		case sched.StaticCyclic:
+			iters = int64(sched.Cyclic(fc.Space, w.Team.Size, w.ID).Count())
+		}
+		w.updateSpeed(iters, elapsed)
+		fs := fc.shared
+		if fs.adapt != nil {
+			fs.noteDone(elapsed)
+		}
 		fc.shared = nil
 		w.fcFree = append(w.fcFree, fc)
-		if h := obsHooks(); h != nil && h.WorkEnd != nil {
-			h.WorkEnd(w.gid, w.Team.tid)
+		if h := obsHooks(); h != nil {
+			if h.LoopRate != nil && iters > 0 {
+				h.LoopRate(w.gid, iters, elapsed)
+			}
+			if h.WorkEnd != nil {
+				h.WorkEnd(w.gid, w.Team.tid)
+			}
 		}
 	}
 }
@@ -134,21 +215,27 @@ func (fc *ForContext) Dispense() (sched.Space, bool) {
 		}
 	}
 	fc.batchLo = to
+	fc.iters += to - from
 	return fc.Space.Slice(int(from), int(to)), true
 }
 
-// DispenseSteal draws the next chunk for the steal schedule: from the
-// worker's own statically carved range while it lasts, then from ranges
-// stolen off loaded siblings. Steals are reported to an installed tool
-// through the same steal hooks task stealing uses; a fruitless scan
-// reports a bare attempt.
+// DispenseSteal draws the next chunk for the steal and weightedSteal
+// schedules: from the worker's own statically carved range while it lasts
+// (the locality order — remote ranges are touched only when the local one
+// is dry), then from ranges stolen off loaded siblings. Steals are
+// reported to an installed tool through the same steal hooks task stealing
+// uses; a fruitless scan reports a bare attempt, and any scan reports its
+// probe count so victim-selection quality is observable.
 func (fc *ForContext) DispenseSteal() (sched.Space, bool) {
 	w := fc.Worker
-	from, to, victim, ok := fc.shared.sdisp.Next(w.ID)
+	from, to, victim, probes, ok := fc.shared.sdisp.Next(w.ID)
 	if victim >= 0 || !ok {
 		if h := obsHooks(); h != nil {
 			if h.StealAttempt != nil {
 				h.StealAttempt(w.gid)
+			}
+			if h.StealScan != nil && probes > 0 {
+				h.StealScan(w.gid, probes)
 			}
 			if victim >= 0 && victim < len(w.Team.workers) && h.StealSuccess != nil {
 				// Loop-range steals have no task identity; 0 marks them in
@@ -160,6 +247,7 @@ func (fc *ForContext) DispenseSteal() (sched.Space, bool) {
 	if !ok {
 		return sched.Space{}, false
 	}
+	fc.iters += to - from
 	return fc.Space.Slice(int(from), int(to)), true
 }
 

@@ -7,14 +7,16 @@ import (
 
 func TestKindStringCoversAllKinds(t *testing.T) {
 	want := map[Kind]string{
-		StaticBlock:  "staticBlock",
-		StaticCyclic: "staticCyclic",
-		Dynamic:      "dynamic",
-		Guided:       "guided",
-		Steal:        "steal",
-		Custom:       "caseSpecific",
-		Auto:         "auto",
-		Runtime:      "runtime",
+		StaticBlock:   "staticBlock",
+		StaticCyclic:  "staticCyclic",
+		Dynamic:       "dynamic",
+		Guided:        "guided",
+		Steal:         "steal",
+		Custom:        "caseSpecific",
+		Auto:          "auto",
+		Runtime:       "runtime",
+		WeightedSteal: "weightedSteal",
+		Adaptive:      "adaptive",
 	}
 	for _, k := range Kinds() {
 		if k.String() != want[k] {

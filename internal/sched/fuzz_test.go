@@ -21,6 +21,15 @@ func FuzzParseKind(f *testing.F) {
 	f.Add("static")
 	f.Add("dyn amic")
 	f.Add("\x00guided")
+	// Near-misses of the asymmetry-aware spellings: spacing, casing and
+	// truncation mutations around weightedSteal and adaptive.
+	f.Add("weighted steal")
+	f.Add("weightedsteal")
+	f.Add("WEIGHTEDSTEAL")
+	f.Add("weighted")
+	f.Add("adaptive ")
+	f.Add("adapt")
+	f.Add("adaptivesteal")
 	f.Fuzz(func(t *testing.T, s string) {
 		k, err := ParseKind(s)
 		if err != nil {

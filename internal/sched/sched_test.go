@@ -398,7 +398,7 @@ func TestStealDispenserSequentialCoverage(t *testing.T) {
 	d := NewStealDispenser(sp, 3, 4)
 	var got []int
 	for {
-		from, to, victim, ok := d.Next(0)
+		from, to, victim, _, ok := d.Next(0)
 		if !ok {
 			break
 		}
@@ -425,7 +425,7 @@ func TestStealDispenserStealsOnExhaustion(t *testing.T) {
 	covered := make([]int, 64)
 	steals := 0
 	for {
-		from, to, victim, ok := d.Next(0)
+		from, to, victim, _, ok := d.Next(0)
 		if !ok {
 			break
 		}
@@ -464,7 +464,7 @@ func TestStealDispenserConcurrentExactlyOnce(t *testing.T) {
 			go func(id int) {
 				defer wg.Done()
 				for {
-					from, to, _, ok := d.Next(id)
+					from, to, _, _, ok := d.Next(id)
 					if !ok {
 						return
 					}
@@ -490,13 +490,13 @@ func TestStealDispenserConcurrentExactlyOnce(t *testing.T) {
 func TestStealDispenserEdgeCases(t *testing.T) {
 	// Empty space: immediately exhausted for every worker.
 	d := NewStealDispenser(Space{5, 5, 1}, 1, 3)
-	if _, _, _, ok := d.Next(1); ok {
+	if _, _, _, _, ok := d.Next(1); ok {
 		t.Fatal("empty space dispensed work")
 	}
 	// Out-of-range ids have no slot: they steal whole ranges directly
 	// (never installing into a real worker's slot) rather than panicking.
 	d = NewStealDispenser(Space{0, 2, 1}, 1, 2)
-	if _, _, victim, ok := d.Next(99); !ok || victim < 0 {
+	if _, _, victim, _, ok := d.Next(99); !ok || victim < 0 {
 		t.Fatalf("foreign id found no work (ok=%v victim=%d)", ok, victim)
 	}
 	// Fewer iterations than workers: the tail slots start empty and steal.
@@ -504,7 +504,7 @@ func TestStealDispenserEdgeCases(t *testing.T) {
 	total := 0
 	for id := 7; id >= 0; id-- {
 		for {
-			from, to, _, ok := d.Next(id)
+			from, to, _, _, ok := d.Next(id)
 			if !ok {
 				break
 			}

@@ -48,6 +48,24 @@ const (
 	// benchmark flag needs no aspect changes: bind Runtime, set the
 	// default per run.
 	Runtime
+	// WeightedSteal is Steal made asymmetry-aware (Saez et al.,
+	// arXiv:2402.07664: equal chunking assumes uniform workers): the
+	// initial contiguous ranges are carved proportionally to per-worker
+	// speed weights the runtime measures (EWMA of iteration throughput),
+	// and a dry worker steals from the *most loaded* sibling — the one
+	// whose packed (lo,hi) word holds the largest remainder — instead of
+	// the first non-empty slot a rotation scan finds. With no weights
+	// available (untrained workers) it degrades to exactly Steal.
+	WeightedSteal
+	// Adaptive closes the obs→sched feedback loop: the runtime re-resolves
+	// the schedule kind and chunk per construct encounter from the
+	// previous encounter's measured per-worker imbalance (hot teams make
+	// encounters persistent, so the state has a home). Like Auto it is an
+	// indirect kind — Resolve inside the team-shared encounter state picks
+	// the concrete policy — but unlike Auto the choice is fed by
+	// measurement, not just the loop shape. Auto itself resolves to
+	// Adaptive on re-encounters, so long-running Auto loops self-tune.
+	Adaptive
 )
 
 // String implements fmt.Stringer; names match the paper's annotations.
@@ -69,6 +87,10 @@ func (k Kind) String() string {
 		return "auto"
 	case Runtime:
 		return "runtime"
+	case WeightedSteal:
+		return "weightedSteal"
+	case Adaptive:
+		return "adaptive"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -77,7 +99,7 @@ func (k Kind) String() string {
 // Kinds lists every named schedule in declaration order, for flag help
 // and parser errors.
 func Kinds() []Kind {
-	return []Kind{StaticBlock, StaticCyclic, Dynamic, Guided, Steal, Custom, Auto, Runtime}
+	return []Kind{StaticBlock, StaticCyclic, Dynamic, Guided, Steal, Custom, Auto, Runtime, WeightedSteal, Adaptive}
 }
 
 // ParseKind resolves a schedule name — as produced by Kind.String,
@@ -107,7 +129,7 @@ func Default() Kind { return Kind(defaultKind.Load()) }
 // required ScheduleFunc through a process-wide knob) are rejected.
 func SetDefault(k Kind) (Kind, error) {
 	switch k {
-	case StaticBlock, StaticCyclic, Dynamic, Guided, Steal, Auto:
+	case StaticBlock, StaticCyclic, Dynamic, Guided, Steal, Auto, WeightedSteal, Adaptive:
 		return Kind(defaultKind.Swap(int32(k))), nil
 	case Runtime:
 		return Default(), fmt.Errorf("sched: runtime cannot be its own default")
@@ -138,12 +160,25 @@ func Resolve(k Kind, count, nthreads int) Kind {
 		}
 		return Guided
 	}
-	if k == Steal && count > stealMaxCount {
+	if (k == Steal || k == WeightedSteal) && count > stealMaxCount {
 		// The steal dispenser packs (lo, hi) iteration indices into one
 		// 64-bit word (32 bits each) so ranges split with a single CAS;
 		// loops too long for that fall back to the chunked dispenser.
 		// Pure function of the trip count, so a team resolves uniformly.
 		return Dynamic
+	}
+	if k == Adaptive {
+		// Adaptive needs per-encounter team state to resolve; outside it —
+		// one worker, or a space the steal dispenser cannot represent —
+		// there is nothing to adapt between, so collapse to the shape-only
+		// choice here. A remaining Adaptive is resolved by the runtime's
+		// encounter state (rt.BeginFor), never dispatched on directly.
+		if nthreads <= 1 {
+			return StaticBlock
+		}
+		if count > stealMaxCount {
+			return Guided
+		}
 	}
 	return k
 }
@@ -334,6 +369,12 @@ func unpackRange(v uint64) (lo, hi int64) {
 type StealDispenser struct {
 	slots []stealSlot
 	chunk int64
+	// loaded selects the WeightedSteal victim policy: scan every sibling
+	// and steal from the one holding the largest remaining range, instead
+	// of the first non-empty slot a rotation scan finds. Uniform Steal
+	// keeps the rotation scan — its O(1) expected probes are the right
+	// trade when ranges are symmetric anyway.
+	loaded bool
 }
 
 // NewStealDispenser carves sp into one contiguous per-worker range each
@@ -363,10 +404,38 @@ func NewStealDispenser(sp Space, chunk, nthreads int) *StealDispenser {
 	return d
 }
 
+// NewStealDispenserWeighted carves sp into one contiguous range per worker
+// sized proportionally to weights (measured worker speeds), so a 4x-faster
+// worker starts with ~4x the iterations and the slow sibling is not handed
+// work it must be robbed of later. weights that are nil, mis-sized, or
+// unusable (weightedCuts) fall back to the balanced carve. Victim
+// selection is most-loaded-first either way — under asymmetry the largest
+// remainder marks the worker most in need of help, and halving it moves
+// the most work per steal. The resulting dispenser serves the
+// WeightedSteal schedule; chunk and count limits are as for
+// NewStealDispenser.
+func NewStealDispenserWeighted(sp Space, chunk, nthreads int, weights []float64) *StealDispenser {
+	if nthreads < 1 {
+		nthreads = 1
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	d := &StealDispenser{slots: make([]stealSlot, nthreads), chunk: int64(chunk), loaded: true}
+	cuts := weightedCuts(sp.Count(), nthreads, weights)
+	for id := 0; id < nthreads; id++ {
+		d.slots[id].bounds.Store(packRange(int64(cuts[id]), int64(cuts[id+1])))
+	}
+	return d
+}
+
 // Next reserves the next chunk for worker id, returning iteration-index
 // bounds [from, to). victim is the slot a range was stolen from when this
-// call had to steal (the worker's own range had run dry), -1 otherwise; ok
-// is false when no work is left anywhere the worker could see. A false ok
+// call had to steal (the worker's own range had run dry), -1 otherwise;
+// probes counts the sibling slots examined while stealing (0 when the
+// local range served — the locality order is always self first, remote
+// only when dry), so callers can observe fruitless scan length; ok is
+// false when no work is left anywhere the worker could see. A false ok
 // is conservative: a range being migrated by a concurrent thief can be
 // missed, which costs balance, never coverage — the thief that owns it
 // will execute it.
@@ -375,13 +444,13 @@ func NewStealDispenser(sp Space, chunk, nthreads int) *StealDispenser {
 // range per call and never install it anywhere, so a foreign caller can
 // drain leftovers without aliasing a real worker's slot (the install
 // store below is safe precisely because each slot has one owner).
-func (d *StealDispenser) Next(id int) (from, to int64, victim int, ok bool) {
+func (d *StealDispenser) Next(id int) (from, to int64, victim, probes int, ok bool) {
 	if id < 0 || id >= len(d.slots) {
-		lo, hi, vi := d.stealFrom(-1)
+		lo, hi, vi, pr := d.stealFrom(-1)
 		if vi < 0 {
-			return 0, 0, -1, false
+			return 0, 0, -1, pr, false
 		}
-		return lo, hi, vi, true
+		return lo, hi, vi, pr, true
 	}
 	victim = -1
 	self := &d.slots[id]
@@ -397,12 +466,13 @@ func (d *StealDispenser) Next(id int) (from, to int64, victim int, ok bool) {
 				take = hi - lo
 			}
 			if self.bounds.CompareAndSwap(v, packRange(lo+take, hi)) {
-				return lo, lo + take, victim, true
+				return lo, lo + take, victim, probes, true
 			}
 		}
-		lo, hi, vi := d.stealFrom(id)
+		lo, hi, vi, pr := d.stealFrom(id)
+		probes += pr
 		if vi < 0 {
-			return 0, 0, victim, false
+			return 0, 0, victim, probes, false
 		}
 		victim = vi
 		// The slot's owner is the only goroutine that writes an empty
@@ -414,14 +484,19 @@ func (d *StealDispenser) Next(id int) (from, to int64, victim int, ok bool) {
 
 // stealFrom scans the slots other than id (id < 0 scans all) for a
 // non-empty range and splits off its back half — or all of it when less
-// than one chunk would remain — returning the stolen bounds and the
-// victim's slot. It retries while some victim visibly holds work (a
-// failed CAS means another worker made progress, so the loop is
-// lock-free) and reports victim -1 once every slot it scanned was empty.
-func (d *StealDispenser) stealFrom(id int) (lo, hi int64, victim int) {
+// than one chunk would remain — returning the stolen bounds, the victim's
+// slot, and the number of slots probed. Uniform dispensers take the first
+// non-empty slot of a rotation scan starting after id; loaded (weighted)
+// dispensers complete the scan and target the slot with the largest
+// remainder. Both retry while some victim visibly holds work (a failed
+// CAS means another worker made progress, so the loop is lock-free) and
+// report victim -1 once every slot scanned was empty.
+func (d *StealDispenser) stealFrom(id int) (lo, hi int64, victim, probes int) {
 	n := len(d.slots)
 	for {
-		found := false
+		best := -1
+		var bestVal uint64
+		var bestRem int64
 		for i := 0; i < n; i++ {
 			vi := i
 			if id >= 0 {
@@ -431,25 +506,48 @@ func (d *StealDispenser) stealFrom(id int) (lo, hi int64, victim int) {
 				vi = (id + i) % n
 			}
 			v := &d.slots[vi]
+			probes++
 			val := v.bounds.Load()
 			vlo, vhi := unpackRange(val)
 			if vlo >= vhi {
 				continue
 			}
-			found = true
-			take := (vhi - vlo + 1) / 2
-			if vhi-vlo-take < d.chunk {
-				take = vhi - vlo // don't leave the victim a sub-chunk stub
+			if d.loaded {
+				if rem := vhi - vlo; rem > bestRem {
+					best, bestVal, bestRem = vi, val, rem
+				}
+				continue
 			}
-			mid := vhi - take
-			if v.bounds.CompareAndSwap(val, packRange(vlo, mid)) {
-				return mid, vhi, vi
+			if slo, shi, ok := d.trySteal(vi, val); ok {
+				return slo, shi, vi, probes
 			}
+			best = vi // witnessed work: keep retrying the scan
 		}
-		if !found {
-			return 0, 0, -1
+		if best < 0 {
+			return 0, 0, -1, probes
+		}
+		if d.loaded {
+			if slo, shi, ok := d.trySteal(best, bestVal); ok {
+				return slo, shi, best, probes
+			}
 		}
 	}
+}
+
+// trySteal CASes the back half out of slot vi given its observed bounds
+// word — or the whole range when less than one chunk would remain, so the
+// victim is never left a sub-chunk stub.
+func (d *StealDispenser) trySteal(vi int, val uint64) (lo, hi int64, ok bool) {
+	vlo, vhi := unpackRange(val)
+	take := (vhi - vlo + 1) / 2
+	if vhi-vlo-take < d.chunk {
+		take = vhi - vlo
+	}
+	mid := vhi - take
+	if d.slots[vi].bounds.CompareAndSwap(val, packRange(vlo, mid)) {
+		return mid, vhi, true
+	}
+	return 0, 0, false
 }
 
 // Remaining reports how many iterations are still claimable across all

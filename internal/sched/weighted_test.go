@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestWeightedCutsProportional pins the carve math: cut i is the rounded
+// cumulative share, so every part's size is within one iteration of its
+// ideal n·w_i/Σw, and the cuts are a monotone exact partition of [0, n).
+func TestWeightedCutsProportional(t *testing.T) {
+	weights := []float64{4, 1, 2, 1}
+	n := 800
+	cuts := weightedCuts(n, len(weights), weights)
+	if cuts[0] != 0 || cuts[len(cuts)-1] != n {
+		t.Fatalf("cuts %v do not span [0, %d]", cuts, n)
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for i, w := range weights {
+		size := cuts[i+1] - cuts[i]
+		ideal := float64(n) * w / sum
+		if math.Abs(float64(size)-ideal) > 1 {
+			t.Errorf("part %d: size %d, ideal %.1f — off by more than rounding", i, size, ideal)
+		}
+		if cuts[i+1] < cuts[i] {
+			t.Fatalf("cuts %v not monotone at %d", cuts, i)
+		}
+	}
+}
+
+// TestWeightedCutsFallsBackBalanced pins the unusable-weights contract:
+// nil, mis-sized, non-finite, non-positive, or zero-sum weights must all
+// yield the balanced StaticBlock cuts — never a panic, never a skewed
+// carve from garbage.
+func TestWeightedCutsFallsBackBalanced(t *testing.T) {
+	want := weightedCuts(10, 3, nil)
+	if got := []int{want[0], want[1], want[2], want[3]}; got[1]-got[0] != 4 || got[2]-got[1] != 3 || got[3]-got[2] != 3 {
+		t.Fatalf("balanced cuts = %v, want sizes 4,3,3", want)
+	}
+	bad := [][]float64{
+		{1, 2},                // mis-sized
+		{1, -1, 1},            // negative
+		{1, 0, 1},             // zero
+		{1, math.NaN(), 1},    // NaN
+		{1, math.Inf(1), 1},   // +Inf
+		{1e301, 1e301, 1e301}, // overflow guard
+	}
+	for _, ws := range bad {
+		got := weightedCuts(10, 3, ws)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("weights %v: cuts %v, want balanced %v", ws, got, want)
+				break
+			}
+		}
+	}
+}
+
+// Property: SplitWeighted covers every iteration exactly once for any
+// weights (usable or not), keeps one sub-space per weight, and keeps them
+// contiguous in order.
+func TestSplitWeightedCoversExactlyOnce(t *testing.T) {
+	f := func(count uint16, nth uint8, seeds [8]uint16) bool {
+		sp := Space{2, 2 + int(count%3000), 3}
+		nw := int(nth%8) + 1
+		ws := make([]float64, nw)
+		for i := range ws {
+			ws[i] = float64(seeds[i]%64) / 8 // some parts land on 0 → fallback path
+		}
+		parts := sp.SplitWeighted(ws)
+		if len(parts) != nw {
+			return false
+		}
+		var got []int
+		for _, p := range parts {
+			got = append(got, p.Values()...)
+		}
+		return sameMultiset(got, sp.Values())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStealDispenserWeightedProportionalCarve pins that the weighted
+// dispenser's initial per-worker ranges follow the weights: a worker
+// draining only its own range (victim -1 means the local slot served)
+// gets its proportional share before the first steal.
+func TestStealDispenserWeightedProportionalCarve(t *testing.T) {
+	// weights 3:1 over 80 iterations → worker 1's own range ≈ 20.
+	d := NewStealDispenserWeighted(Space{0, 80, 1}, 1, 2, []float64{3, 1})
+	own := 0
+	for {
+		from, to, victim, _, ok := d.Next(1)
+		if !ok || victim >= 0 {
+			break
+		}
+		own += int(to - from)
+	}
+	if own < 19 || own > 21 {
+		t.Fatalf("worker 1 owned %d of 80 iterations, want ≈20 under weights 3:1", own)
+	}
+}
+
+// TestStealDispenserWeightedStealsMostLoaded pins the loaded victim
+// policy: a dry worker's steal scans every sibling and takes from the
+// one holding the largest remainder, not the first non-empty slot.
+func TestStealDispenserWeightedStealsMostLoaded(t *testing.T) {
+	// Carve 100 iterations as 10/20/70 across workers 0..2: worker 0 runs
+	// dry first and must pick worker 2 (the largest remainder), even
+	// though worker 1's slot comes first in rotation order.
+	d := NewStealDispenserWeighted(Space{0, 100, 1}, 1, 3, []float64{1, 2, 7})
+	for {
+		_, _, victim, probes, ok := d.Next(0)
+		if !ok {
+			t.Fatal("space drained before any steal was observed")
+		}
+		if victim < 0 {
+			continue
+		}
+		if victim != 2 {
+			t.Fatalf("first steal took from slot %d, want the most-loaded slot 2", victim)
+		}
+		if probes < 2 {
+			t.Fatalf("loaded steal probed %d slots, want a full sibling scan", probes)
+		}
+		return
+	}
+}
+
+// Property: the weighted dispenser preserves the exactly-once guarantee
+// under concurrent draining for arbitrary weights, chunks and team sizes
+// — skewed carves change who starts with what, never coverage.
+func TestStealDispenserWeightedConcurrentExactlyOnce(t *testing.T) {
+	f := func(count uint16, chunk uint8, nth uint8, seeds [8]uint16) bool {
+		n := int(count % 2000)
+		workers := int(nth%8) + 1
+		ws := make([]float64, workers)
+		for i := range ws {
+			ws[i] = float64(seeds[i]%16) + 0.25
+		}
+		d := NewStealDispenserWeighted(Space{0, n, 1}, int(chunk%9), workers, ws)
+		hits := make([]int32, n)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				for {
+					from, to, _, _, ok := d.Next(id)
+					if !ok {
+						return
+					}
+					for i := from; i < to; i++ {
+						hits[i]++ // each index owned by one goroutine
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, h := range hits {
+			if h != 1 {
+				return false
+			}
+		}
+		return d.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStealDispenserWeightedForeignId pins that ids outside [0, nthreads)
+// drain leftovers from a weighted dispenser too, stealing whole ranges
+// without installing into any worker's slot.
+func TestStealDispenserWeightedForeignId(t *testing.T) {
+	d := NewStealDispenserWeighted(Space{0, 8, 1}, 1, 2, []float64{1, 3})
+	total := 0
+	for {
+		from, to, victim, _, ok := d.Next(-5)
+		if !ok {
+			break
+		}
+		if victim < 0 {
+			t.Fatal("foreign id claimed from a local slot it does not have")
+		}
+		total += int(to - from)
+	}
+	if total != 8 {
+		t.Fatalf("foreign id drained %d of 8 iterations", total)
+	}
+}

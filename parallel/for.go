@@ -13,6 +13,7 @@ type forEntry struct {
 	sp    sched.Space
 	kind  sched.Kind
 	chunk int
+	key   any // encounter key: e itself, or a stable loopKey for Adaptive
 	idx   func(i int)
 	rng   func(lo, hi int)
 }
@@ -73,6 +74,16 @@ func runFor(sp sched.Space, opts []Opt, idx func(int), rng func(int, int)) {
 	e.kind = sched.Resolve(e.cfg.sched, n, width)
 	e.chunk = e.cfg.grain
 	e.idx, e.rng = idx, rng
+	e.key = e
+	if e.kind == sched.Adaptive {
+		// Adaptive state must survive entry recycling: key by the body's
+		// code location instead of the pooled entry.
+		if idx != nil {
+			e.key = stableKey(idx, 0)
+		} else {
+			e.key = stableKey(rng, 0)
+		}
+	}
 	rt.RegionArg(width, forBody, e)
 	e.idx, e.rng = nil, nil
 	forPool.Put(e)
@@ -86,7 +97,7 @@ var forPool = poolOf[forEntry]()
 // dispatch allocation-free.
 func forBody(w *rt.Worker, arg any) {
 	e := arg.(*forEntry)
-	rt.ForSpan(w, e.sp, e.kind, e, e.chunk, forSpan, arg)
+	rt.ForSpan(w, e.sp, e.kind, e.key, e.chunk, forSpan, arg)
 }
 
 // forSpan executes one dispensed sub-range.

@@ -60,11 +60,32 @@ const (
 	// workers steal the back half of a victim's remainder with a single
 	// CAS (the static_steal schedule from PR 5).
 	Steal Schedule = sched.Steal
-	// Auto lets the library pick from the trip count and team width.
+	// Auto lets the library pick from the trip count and team width. At
+	// this layer the choice is made per call from shape alone, keeping the
+	// dispatch allocation-free; loops that should learn from their own
+	// re-encounters ask for Adaptive instead. (The woven facade's Auto
+	// does upgrade on re-encounters: its constructs always pass through
+	// the runtime's encounter state.)
 	Auto Schedule = sched.Auto
 	// Runtime defers to the process-wide default schedule
 	// (aomplib.SetDefaultSchedule / OMP_SCHEDULE-style configuration).
 	Runtime Schedule = sched.Runtime
+	// WeightedSteal is Steal with asymmetry awareness: initial per-worker
+	// ranges are carved proportionally to each worker's measured speed
+	// (trained automatically on hot teams), and stealing targets the
+	// most-loaded sibling. On a team with no speed history it behaves
+	// like Steal.
+	WeightedSteal Schedule = sched.WeightedSteal
+	// Adaptive re-tunes the schedule kind and chunk on every encounter of
+	// the same loop from the imbalance the previous encounter measured —
+	// the feedback-driven choice for loops executed repeatedly (solvers,
+	// per-frame work, server request loops). State is keyed by the body
+	// function's code location and lives on the hot team, so distinct
+	// call sites learn independently and the learning survives region
+	// entries. Unlike the other kinds its dispatch is not allocation-free
+	// (the stable key costs a small interning lookup); per-call overhead
+	// is still far below one region entry.
+	Adaptive Schedule = sched.Adaptive
 )
 
 // config carries the resolved options of one algorithm call.
@@ -133,6 +154,27 @@ func (c config) width(n int) int {
 		w = 1
 	}
 	return w
+}
+
+// loopKey is the adaptive-state identity of one loop: the code pointer of
+// its body function plus a phase tag (Scan's two passes learn separately).
+// Pooled entry structs are recycled between unrelated loops, so the entry
+// pointer — the encounter key for every other schedule — would conflate
+// adaptive state; the body's code location is stable across calls instead.
+// Two closures created at the same source location share a key (they are
+// "the same loop" for tuning purposes); distinct call sites never collide.
+// Comparable by value, so a freshly built key finds the state an earlier
+// call registered.
+type loopKey struct {
+	pc    uintptr
+	phase uint8
+}
+
+// stableKey builds the adaptive-state key for a loop body fn (any func
+// value). Boxing fn and the returned key allocates a few words — the
+// documented cost of the Adaptive dispatch path.
+func stableKey(fn any, phase uint8) any {
+	return loopKey{pc: reflect.ValueOf(fn).Pointer(), phase: phase}
 }
 
 // entryPools caches one sync.Pool of region-argument structs per

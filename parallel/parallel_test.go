@@ -18,6 +18,7 @@ var sizes = []int{0, 1, 2, 3, 7, 16, 100, 1000, 4096}
 var schedules = []parallel.Schedule{
 	parallel.Static, parallel.Cyclic, parallel.Dynamic,
 	parallel.Guided, parallel.Steal, parallel.Auto, parallel.Runtime,
+	parallel.WeightedSteal, parallel.Adaptive,
 }
 
 func TestForCoversEveryIndexOnce(t *testing.T) {
@@ -211,6 +212,71 @@ func TestScanDeterministicAcrossWidths(t *testing.T) {
 		for i := range xs {
 			if xs[i] != ref[i] {
 				t.Fatalf("width=%d: xs[%d]=%v != width-1 %v", width, i, xs[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestReduceBitEqualAcrossWidthsAdaptive pins the determinism guarantee
+// where it is hardest to keep: the self-tuning schedules re-carve the
+// iteration space between encounters (weighted ranges move with measured
+// speeds, adaptive state re-tunes chunk and kind), yet the fixed combine
+// tree must make float64 results bit-equal across widths and encounters.
+// Each configuration runs several encounters under one stable construct
+// identity so re-tunes actually happen mid-test.
+func TestReduceBitEqualAcrossWidthsAdaptive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n, encounters = 10_000, 4
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * float64(i%89)
+	}
+	leaf := func(lo, hi int, acc float64) float64 {
+		for i := lo; i < hi; i++ {
+			acc += xs[i]
+		}
+		return acc
+	}
+	add := func(a, b float64) float64 { return a + b }
+	ref := parallel.Reduce(0, n, 0.0, leaf, add, parallel.WithThreads(1))
+	for _, s := range []parallel.Schedule{parallel.Adaptive, parallel.WeightedSteal} {
+		for _, width := range widths {
+			for e := 0; e < encounters; e++ {
+				got := parallel.Reduce(0, n, 0.0, leaf, add,
+					parallel.WithThreads(width), parallel.WithSchedule(s))
+				if got != ref {
+					t.Fatalf("sched=%v width=%d encounter=%d: %v != serial %v", s, width, e, got, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestScanBitEqualAcrossWidthsAdaptive is the Scan half of the adaptive
+// determinism pin: both of Scan's phases run under the self-tuning
+// schedules (learning separately) and every prefix must stay bit-equal
+// to the serial scan across widths and re-tuned encounters.
+func TestScanBitEqualAcrossWidthsAdaptive(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	const n, encounters = 5000, 4
+	base := make([]float64, n)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	add := func(a, b float64) float64 { return a + b }
+	ref := append([]float64(nil), base...)
+	parallel.Scan(ref, 0, add, parallel.WithThreads(1))
+	for _, s := range []parallel.Schedule{parallel.Adaptive, parallel.WeightedSteal} {
+		for _, width := range widths {
+			for e := 0; e < encounters; e++ {
+				xs := append([]float64(nil), base...)
+				parallel.Scan(xs, 0, add, parallel.WithThreads(width), parallel.WithSchedule(s))
+				for i := range xs {
+					if xs[i] != ref[i] {
+						t.Fatalf("sched=%v width=%d encounter=%d: xs[%d]=%v != serial %v",
+							s, width, e, i, xs[i], ref[i])
+					}
+				}
 			}
 		}
 	}

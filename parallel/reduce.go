@@ -12,6 +12,7 @@ type reduceEntry[T any] struct {
 	lo, hi   int
 	grain    int
 	kind     sched.Kind
+	key      any // encounter key: e itself, or a stable loopKey for Adaptive
 	identity T
 	leaf     func(lo, hi int, acc T) T
 	partials []T
@@ -74,6 +75,12 @@ func Reduce[T any](lo, hi int, identity T, leaf func(lo, hi int, acc T) T, combi
 		reduceSpan[T](sched.Space{Lo: 0, Hi: chunks, Step: 1}, e)
 	} else {
 		e.kind = sched.Resolve(e.cfg.sched, chunks, width)
+		e.key = e
+		if e.kind == sched.Adaptive {
+			// Key the learning by the leaf's code location — pooled entries
+			// are recycled between unrelated reductions.
+			e.key = stableKey(leaf, 0)
+		}
 		rt.RegionArg(width, e.body, e)
 	}
 
@@ -91,7 +98,7 @@ func Reduce[T any](lo, hi int, identity T, leaf func(lo, hi int, acc T) T, combi
 // index space, each worker filling the partials of its assigned chunks.
 func reduceBody[T any](w *rt.Worker, arg any) {
 	e := arg.(*reduceEntry[T])
-	rt.ForSpan(w, sched.Space{Lo: 0, Hi: len(e.partials), Step: 1}, e.kind, e, 1, e.span, arg)
+	rt.ForSpan(w, sched.Space{Lo: 0, Hi: len(e.partials), Step: 1}, e.kind, e.key, 1, e.span, arg)
 }
 
 // reduceSpan evaluates the leaf over one dispensed range of chunk indices.

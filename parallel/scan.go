@@ -12,6 +12,11 @@ type scanEntry[T any] struct {
 	grain    int
 	kind     sched.Kind
 	identity T
+	// Encounter keys of the two worked phases: e itself, or stable
+	// loopKeys (distinct phase tags) for Adaptive — the sum and apply
+	// passes have different cost profiles, so they learn separately.
+	keySum   any
+	keyApply any
 	combine  func(a, b T) T
 	sums     []T
 	// Cached instantiated generic func values, for the same 0 allocs/op
@@ -69,6 +74,11 @@ func Scan[T any](xs []T, identity T, combine func(a, b T) T, opts ...Opt) {
 		scanApplySpan[T](cs, e)
 	} else {
 		e.kind = sched.Resolve(e.cfg.sched, chunks, width)
+		e.keySum, e.keyApply = e, e
+		if e.kind == sched.Adaptive {
+			e.keySum = stableKey(combine, 0)
+			e.keyApply = stableKey(combine, 1)
+		}
 		rt.RegionArg(width, e.body, e)
 	}
 
@@ -85,13 +95,13 @@ func Scan[T any](xs []T, identity T, combine func(a, b T) T, opts ...Opt) {
 func scanBody[T any](w *rt.Worker, arg any) {
 	e := arg.(*scanEntry[T])
 	cs := sched.Space{Lo: 0, Hi: len(e.sums), Step: 1}
-	rt.ForSpan(w, cs, e.kind, e, 1, e.spanSum, arg)
+	rt.ForSpan(w, cs, e.kind, e.keySum, 1, e.spanSum, arg)
 	w.Team.Barrier().WaitWorker(w)
 	if w.ID == 0 {
 		scanOffsets(e)
 	}
 	w.Team.Barrier().WaitWorker(w)
-	rt.ForSpan(w, cs, e.kind, e, 1, e.spanApply, arg)
+	rt.ForSpan(w, cs, e.kind, e.keyApply, 1, e.spanApply, arg)
 }
 
 // scanSumSpan folds each assigned chunk to its partial sum (pass one).
