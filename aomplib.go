@@ -524,7 +524,12 @@ var StopTrace = core.StopTrace
 
 // RuntimeStats snapshots the runtime's observability counters: the
 // tracer's event statistics (steals, tasks spawned/inlined, barrier wait
-// nanoseconds, ...) plus the hot-team pool's lease counters.
+// nanoseconds, ...) plus the hot-team pool's lease counters and the
+// admission controller's queue state. The Events slice also carries the
+// ring-buffer accounting production monitors watch — RingDrops (events
+// shed cumulatively across traces), TraceRings (buffers allocated) and
+// WorkersFolded (workers sharing rings past the ring bound) — so a quiet
+// trace is distinguishable from one that silently dropped its events.
 var RuntimeStats = core.ReadRuntimeStats
 
 // RuntimeSnapshot is the aggregate returned by RuntimeStats.

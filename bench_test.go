@@ -274,6 +274,25 @@ func BenchmarkOverhead_RegionEntryTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkOverhead_RegionEntryMetrics is the warm entry with the
+// always-on metrics registry recording — the CI gate asserting that
+// production telemetry adds no allocations to the facade region-entry
+// path (the record path is preallocated padded atomics and lossy pairing
+// tables).
+func BenchmarkOverhead_RegionEntryMetrics(b *testing.B) {
+	prev := aomplib.EnableMetrics(true)
+	defer aomplib.EnableMetrics(prev)
+	p := aomplib.NewProgram("bench")
+	f := p.Class("A").Proc("m", func() {})
+	p.Use(aomplib.ParallelRegion("call(* A.m(..))").Threads(threads()))
+	p.MustWeave()
+	f() // warm team + allocate metric shards
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f()
+	}
+}
+
 // BenchmarkOverhead_CriticalNamed measures a steady-state woven
 // @Critical(id=...) entry. The advice resolves the named lock once at
 // weave time and caches it in the binding, so per-entry cost is one

@@ -46,6 +46,8 @@ func main() {
 	sweepStr := flag.String("sweep", "1,2,4", "closed-loop clients per tenant, comma-separated")
 	duration := flag.Duration("duration", def.Duration, "wall time per sweep point")
 	useHTTP := flag.Bool("http", false, "drive requests through a local HTTP server")
+	metrics := flag.Bool("metrics", false, "serve the aomplib diagnostics (/metrics, /debug/aomp/*) during the run")
+	addr := flag.String("addr", "", "listen address for -http/-metrics (default loopback ephemeral)")
 	seed := flag.Int64("seed", def.Seed, "workload seed")
 	out := flag.String("o", "", "write the JSON report here instead of stdout")
 	check := flag.Bool("check", false, "exit 1 on starved tenants or a busted -p99max")
@@ -63,6 +65,7 @@ func main() {
 		Kernel: *kernel, Policy: *policy, Timeout: *timeout,
 		Quota: *quota, QueueBound: *queue,
 		Sweep: sweep, Duration: *duration, HTTP: *useHTTP, Seed: *seed,
+		Metrics: *metrics, Addr: *addr,
 		FairMin: *fairmin, P99Max: *p99max,
 	}
 

@@ -7,6 +7,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -33,6 +34,8 @@ type Config struct {
 	Sweep      []int         // clients per tenant, one point per entry
 	Duration   time.Duration // wall time per sweep point
 	HTTP       bool          // drive requests through a local HTTP server
+	Metrics    bool          // mount the aomplib diagnostics (/metrics, /debug/aomp/*)
+	Addr       string        // listen address ("" = loopback ephemeral)
 	Seed       int64         // graph/workload seed
 
 	// Check thresholds (applied by Report.Check).
@@ -295,12 +298,25 @@ func runSweep(cfg Config) (*Report, error) {
 		return serveOne(tenant, kernels[client]), nil
 	}
 	if cfg.HTTP {
-		srv, httpReq, err := startHTTPServer(kernels)
+		srv, httpReq, err := startHTTPServer(cfg, kernels)
 		if err != nil {
 			return nil, err
 		}
 		defer srv.Close()
 		request = httpReq
+	} else if cfg.Metrics {
+		// No request server to share: serve the diagnostics standalone so
+		// a scraper can still watch the run.
+		addr := cfg.Addr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		srv, err := aomplib.ServeDiagnostics(addr)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "loadgen: diagnostics on http://%s/metrics\n", srv.Addr)
 	}
 
 	rep := &Report{Config: cfg}
@@ -402,10 +418,16 @@ func summarize(cfg Config, perTenant int, elapsed time.Duration, stats []clientS
 // startHTTPServer exposes the kernels as a request service on a loopback
 // listener: POST /run?client=N with an X-Tenant header runs one request
 // and answers 200 (admitted) or 503 (shed — rejected or timed out, served
-// serialized) with the outcome as JSON. The returned request func is what
-// the sweep clients call.
-func startHTTPServer(kernels []func()) (*http.Server, func(int, string) (outcome, error), error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+// serialized) with the outcome as JSON. With cfg.Metrics, the aomplib
+// diagnostics handler is mounted on the same mux (/metrics and
+// /debug/aomp/*), so a Prometheus scraper can watch the run mid-flight.
+// The returned request func is what the sweep clients call.
+func startHTTPServer(cfg Config, kernels []func()) (*http.Server, func(int, string) (outcome, error), error) {
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -438,6 +460,12 @@ func startHTTPServer(kernels []func()) (*http.Server, func(int, string) (outcome
 			Rejected: o.rejected, TimedOut: o.timedOut, Degraded: o.degraded,
 		})
 	})
+	if cfg.Metrics {
+		diag := aomplib.Handler()
+		mux.Handle("/metrics", diag)
+		mux.Handle("/debug/aomp/", diag)
+		fmt.Fprintf(os.Stderr, "loadgen: diagnostics on http://%s/metrics\n", ln.Addr())
+	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 

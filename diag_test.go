@@ -1,0 +1,163 @@
+package aomplib
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aomplib/internal/obs"
+	"aomplib/internal/rt"
+)
+
+// The diagnostics handler's /metrics output must pass the strict
+// exposition lint and carry both registry counters and the live runtime
+// gauges, with real traffic reflected in the values.
+func TestDiagnosticsMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	defer EnableMetrics(false)
+
+	rt.Region(2, func(w *rt.Worker) {})
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("wrong exposition content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	text := string(body)
+	if err := obs.LintExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("/metrics fails the exposition lint: %v\n%s", err, text)
+	}
+	for _, fam := range []string{
+		"aomp_region_entries_total",
+		"aomp_region_latency_seconds_bucket",
+		"aomp_pool_idle_workers",
+		"aomp_admission_queue_depth",
+		"aomp_trace_ring_drops_total",
+	} {
+		if !strings.Contains(text, fam) {
+			t.Fatalf("/metrics missing family %s:\n%s", fam, text)
+		}
+	}
+	// Handler() enabled metrics, so the region above must have counted.
+	var entries float64
+	for _, line := range strings.Split(text, "\n") {
+		if v, ok := strings.CutPrefix(line, "aomp_region_entries_total "); ok {
+			entries, err = strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				t.Fatalf("unparseable region entries %q", v)
+			}
+		}
+	}
+	if entries < 1 {
+		t.Fatalf("aomp_region_entries_total = %v after a region ran", entries)
+	}
+}
+
+// /debug/aomp/stats must serve the combined runtime + metrics snapshot as
+// JSON, including the new ring-accounting Stats fields.
+func TestDiagnosticsStatsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	defer EnableMetrics(false)
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/aomp/stats")
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Runtime struct {
+			Events struct {
+				RingDrops     *uint64 `json:"RingDrops"`
+				TraceRings    *int    `json:"TraceRings"`
+				WorkersFolded *int    `json:"WorkersFolded"`
+			}
+		} `json:"runtime"`
+		Metrics map[string]any `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatalf("stats is not valid JSON: %v", err)
+	}
+	if payload.Runtime.Events.RingDrops == nil || payload.Runtime.Events.TraceRings == nil ||
+		payload.Runtime.Events.WorkersFolded == nil {
+		t.Fatal("stats JSON missing the ring-accounting fields")
+	}
+	if payload.Metrics == nil {
+		t.Fatal("stats JSON missing the metrics snapshot")
+	}
+}
+
+// /debug/aomp/trace must capture a bounded window, restore the tracer's
+// prior install state, reject malformed durations, and refuse concurrent
+// captures.
+func TestDiagnosticsTraceEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	defer EnableMetrics(false)
+
+	wasEnabled := TracingEnabled()
+	resp, err := srv.Client().Get(srv.URL + "/debug/aomp/trace?sec=0.01") // clamped to 0.1
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace status %d: %s", resp.StatusCode, body)
+	}
+	if !json.Valid(body) {
+		t.Fatalf("trace is not valid JSON: %.200s", body)
+	}
+	if TracingEnabled() != wasEnabled {
+		t.Fatalf("trace capture leaked tracer state: was %v, now %v", wasEnabled, TracingEnabled())
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/debug/aomp/trace?sec=bogus")
+	if err != nil {
+		t.Fatalf("GET bogus trace: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bogus sec got status %d, want 400", resp.StatusCode)
+	}
+}
+
+// /debug/aomp/flight must serve a valid Chrome trace whether or not the
+// recorder is enabled, and ServeDiagnostics must bind a working listener.
+func TestDiagnosticsFlightAndServe(t *testing.T) {
+	srv, err := ServeDiagnostics("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeDiagnostics: %v", err)
+	}
+	defer srv.Close()
+	defer EnableMetrics(false)
+
+	resp, err := http.Get("http://" + srv.Addr + "/debug/aomp/flight")
+	if err != nil {
+		t.Fatalf("GET flight: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !json.Valid(body) {
+		t.Fatalf("flight endpoint: status %d, valid JSON %v", resp.StatusCode, json.Valid(body))
+	}
+	if got := resp.Header.Get("X-Aomp-Flight-Triggered"); got != "false" {
+		t.Fatalf("untriggered flight header = %q, want false", got)
+	}
+}

@@ -1,0 +1,506 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"aomplib/internal/sched"
+)
+
+// Always-on production metrics. Where the tracer buffers a timeline for
+// post-hoc inspection, the metrics registry keeps cheap cumulative
+// aggregates a monitoring system scrapes continuously: counters and
+// log-bucketed histograms fed from the same hook emit points the tracer
+// uses. The registry is sized and allocated up front, so the enabled
+// record path touches only preallocated padded atomics — no allocation,
+// no locks — and the disabled path is the hook table's usual one atomic
+// load and predicted branch.
+//
+// Shard discipline: every per-worker metric is striped across
+// cache-line-isolated shards indexed by the emitting WorkerID, folded
+// modulo the shard bound exactly like the tracer's rings, so two workers
+// never contend on a line in steady state. Snapshots merge shards with
+// plain addition — commutative, so the merged totals are independent of
+// which worker's samples landed on which shard.
+
+// histSlots is the number of log2 latency buckets: bucket i counts
+// samples whose nanosecond value has bit length i (2^(i-1) <= v < 2^i;
+// bucket 0 counts zeros). 40 buckets cover 1ns to ~550s; larger samples
+// land in the overflow bucket, rendered as +Inf.
+const histSlots = 40
+
+// histShard is one worker's slice of a histogram: bucket counts plus a
+// nanosecond sum, all plain atomics owned (in steady state) by a single
+// worker.
+type histShard struct {
+	counts   [histSlots + 1]atomic.Uint64 // [histSlots] is the overflow bucket
+	sumNs    atomic.Uint64
+	_padding [24]byte
+}
+
+// record files one nanosecond sample. Negative samples (clock anomalies,
+// mispaired lossy lookups) are discarded rather than wrapped.
+func (h *histShard) record(ns int64) {
+	if ns < 0 {
+		return
+	}
+	b := bits.Len64(uint64(ns))
+	if b > histSlots {
+		b = histSlots
+	}
+	h.counts[b].Add(1)
+	h.sumNs.Add(uint64(ns))
+}
+
+// bucketUpperNs returns the inclusive nanosecond upper bound of bucket i
+// (the Prometheus `le` value); the overflow bucket has no finite bound.
+func bucketUpperNs(i int) int64 {
+	if i >= histSlots {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// schedKinds bounds the per-schedule loop-share counter vector. Larger
+// kind values (future schedules, corrupt emits) fold onto the last slot.
+const schedKinds = 16
+
+// metricShard is one worker's slice of every sharded metric, padded so
+// two shards never share a cache line head or tail.
+type metricShard struct {
+	regionEntries  atomic.Uint64
+	barrierWaits   atomic.Uint64
+	stealAttempts  atomic.Uint64
+	steals         atomic.Uint64
+	stealProbes    atomic.Uint64
+	tasksSpawned   atomic.Uint64
+	tasksCompleted atomic.Uint64
+	loopShares     [schedKinds]atomic.Uint64
+
+	regionLat   histShard
+	barrierWait histShard
+	spawnLat    histShard
+	_padding    [64]byte
+}
+
+// maxMetricTenants bounds the per-tenant counter table. Tenant ids are
+// assigned sequentially by the admission controller; ids beyond the bound
+// aggregate on the overflow row, exported with the tenant label "_other".
+const maxMetricTenants = 256
+
+// tenantShard is one tenant's admission counters. Admission events fire
+// on entering goroutines outside any worker context, so these are keyed
+// by tenant, not by worker.
+type tenantShard struct {
+	admits   atomic.Uint64
+	queued   atomic.Uint64
+	rejects  atomic.Uint64
+	timeouts atomic.Uint64
+}
+
+// pairSlot is one entry of a lossy open-addressed pairing table (see
+// pairTable).
+type pairSlot struct {
+	key atomic.Uint64
+	ns  atomic.Uint64
+}
+
+// pairTable matches begin events to end events across goroutines without
+// allocating: begin stores (key, timestamp) at key&mask, end claims the
+// slot back if the key still matches. Collisions overwrite — the table is
+// a sampling device for histograms, not an exact join — and a claim whose
+// key was overwritten simply contributes no sample. Keys are runtime
+// trace ids (teams, tasks), which start at 1, so 0 means empty.
+type pairTable struct {
+	slots []pairSlot
+	mask  uint64
+}
+
+func newPairTable(capacity int) *pairTable {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &pairTable{slots: make([]pairSlot, n), mask: uint64(n - 1)}
+}
+
+// put files the begin timestamp for key. The ns store is ordered before
+// the key store (Go atomics are sequentially consistent), so a take that
+// observes the key observes its timestamp.
+func (p *pairTable) put(key uint64, ns int64) {
+	s := &p.slots[key&p.mask]
+	s.ns.Store(uint64(ns))
+	s.key.Store(key)
+}
+
+// take claims the begin timestamp for key, reporting whether the slot
+// still held it (false after a collision overwrote the entry).
+func (p *pairTable) take(key uint64) (int64, bool) {
+	s := &p.slots[key&p.mask]
+	if s.key.Load() != key {
+		return 0, false
+	}
+	ns := int64(s.ns.Load())
+	if !s.key.CompareAndSwap(key, 0) {
+		return 0, false
+	}
+	return ns, true
+}
+
+// metricsRegistry is the process-wide metrics state. All storage is
+// allocated at construction; the record path only indexes into it.
+type metricsRegistry struct {
+	shards  []metricShard
+	tenants [maxMetricTenants + 1]tenantShard // [maxMetricTenants] is the overflow row
+
+	// admitWait is recorded on entering goroutines (no worker identity);
+	// a single shard keeps it simple — the admission path already takes
+	// the controller mutex, so one more shared line is not the bottleneck.
+	admitWait histShard
+
+	regionTimes *pairTable // team tid -> region fork ns
+	spawnTimes  *pairTable // task trace id -> spawn ns
+}
+
+func newMetricsRegistry(shards int) *metricsRegistry {
+	if shards < 2 {
+		shards = 2
+	}
+	return &metricsRegistry{
+		shards:      make([]metricShard, shards),
+		regionTimes: newPairTable(1024),
+		spawnTimes:  newPairTable(4096),
+	}
+}
+
+// shard folds a WorkerID onto its metric shard, exactly like the tracer
+// folds rings: index 0 belongs to NoWorker, workers beyond the bound
+// share the tail slots.
+func (m *metricsRegistry) shard(w WorkerID) *metricShard {
+	idx := int(w) + 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(m.shards) {
+		idx = 1 + (idx-1)%(len(m.shards)-1)
+	}
+	return &m.shards[idx]
+}
+
+// tenant folds a tenant id onto its counter row.
+func (m *metricsRegistry) tenant(id uint64) *tenantShard {
+	if id < maxMetricTenants {
+		return &m.tenants[id]
+	}
+	return &m.tenants[maxMetricTenants]
+}
+
+// hooks builds the registry's hook table: bound closures created once at
+// enable time, so the record path allocates nothing.
+func (m *metricsRegistry) hooks() *Hooks {
+	return &Hooks{
+		RegionFork: func(master WorkerID, team uint64, level, size int) {
+			m.shard(master).regionEntries.Add(1)
+			m.regionTimes.put(team, monotonicNs())
+		},
+		RegionJoin: func(master WorkerID, team uint64, level int) {
+			if t0, ok := m.regionTimes.take(team); ok {
+				m.shard(master).regionLat.record(monotonicNs() - t0)
+			}
+		},
+		TaskCreate: func(w WorkerID, task uint64, kind TaskKind) {
+			m.shard(w).tasksSpawned.Add(1)
+			m.spawnTimes.put(task, monotonicNs())
+		},
+		TaskSchedule: func(w WorkerID, task uint64) {
+			if t0, ok := m.spawnTimes.take(task); ok {
+				m.shard(w).spawnLat.record(monotonicNs() - t0)
+			}
+		},
+		TaskComplete: func(w WorkerID, task uint64) {
+			m.shard(w).tasksCompleted.Add(1)
+		},
+		TaskInline: func(w WorkerID, task uint64) {
+			m.shard(w).tasksSpawned.Add(1)
+			m.shard(w).tasksCompleted.Add(1)
+		},
+		StealAttempt: func(w WorkerID) {
+			m.shard(w).stealAttempts.Add(1)
+		},
+		StealSuccess: func(w WorkerID, task uint64, victim WorkerID) {
+			m.shard(w).steals.Add(1)
+		},
+		StealScan: func(w WorkerID, probes int) {
+			m.shard(w).stealProbes.Add(uint64(probes))
+		},
+		BarrierDepart: func(w WorkerID, team uint64, waitNs int64) {
+			s := m.shard(w)
+			s.barrierWaits.Add(1)
+			s.barrierWait.record(waitNs)
+		},
+		WorkBegin: func(w WorkerID, team uint64, kind uint8) {
+			k := int(kind)
+			if k >= schedKinds {
+				k = schedKinds - 1
+			}
+			m.shard(w).loopShares[k].Add(1)
+		},
+		AdmitGrant: func(tenant uint64, waitNs int64) {
+			t := m.tenant(tenant)
+			t.admits.Add(1)
+			if waitNs > 0 {
+				t.queued.Add(1)
+			}
+			m.admitWait.record(waitNs)
+		},
+		AdmitReject: func(tenant uint64, reason AdmitReason) {
+			t := m.tenant(tenant)
+			t.rejects.Add(1)
+			if reason == AdmitReasonTimeout {
+				t.timeouts.Add(1)
+			}
+		},
+	}
+}
+
+// ------------------------------------------------------- snapshot types --
+
+// HistogramBucket is one cumulative bucket of a HistogramSnapshot:
+// the count of samples at or below UpperNs nanoseconds. The overflow
+// bucket carries UpperNs == math.MaxInt64 and equals Count.
+type HistogramBucket struct {
+	UpperNs int64  `json:"upper_ns"`
+	Count   uint64 `json:"count"`
+}
+
+// HistogramSnapshot is one merged histogram: total sample count, total
+// nanoseconds, and cumulative log2 buckets up to the highest occupied
+// one (the overflow bucket is always last). Merging the per-worker
+// shards is plain addition, so the snapshot is deterministic regardless
+// of which worker recorded which sample.
+type HistogramSnapshot struct {
+	Name    string            `json:"name"`
+	Count   uint64            `json:"count"`
+	SumNs   uint64            `json:"sum_ns"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// ScheduleShareCount is one schedule kind's worker-share counter: how
+// many times a worker began its share of a work-sharing encounter
+// resolved to this schedule.
+type ScheduleShareCount struct {
+	Schedule string `json:"schedule"`
+	Shares   uint64 `json:"shares"`
+}
+
+// TenantMetrics is one tenant's admission counters in a MetricsSnapshot.
+// Tenants beyond the registry's table bound aggregate under the name
+// "_other".
+type TenantMetrics struct {
+	ID       uint64 `json:"id"`
+	Name     string `json:"name"`
+	Admits   uint64 `json:"admits"`
+	Queued   uint64 `json:"queued"`
+	Rejects  uint64 `json:"rejects"`
+	Timeouts uint64 `json:"timeouts"`
+}
+
+// MetricsSnapshot is the merged view of the always-on metrics registry.
+// Counters are cumulative since EnableMetrics first turned the registry
+// on; they are never reset.
+type MetricsSnapshot struct {
+	Enabled bool `json:"enabled"`
+
+	RegionEntries  uint64 `json:"region_entries"`
+	BarrierWaits   uint64 `json:"barrier_waits"`
+	StealAttempts  uint64 `json:"steal_attempts"`
+	Steals         uint64 `json:"steals"`
+	StealProbes    uint64 `json:"steal_probes"`
+	TasksSpawned   uint64 `json:"tasks_spawned"`
+	TasksCompleted uint64 `json:"tasks_completed"`
+
+	LoopShares []ScheduleShareCount `json:"loop_shares,omitempty"`
+	Tenants    []TenantMetrics      `json:"tenants,omitempty"`
+
+	RegionLatency HistogramSnapshot `json:"region_latency"`
+	BarrierWait   HistogramSnapshot `json:"barrier_wait"`
+	AdmitWait     HistogramSnapshot `json:"admit_wait"`
+	SpawnLatency  HistogramSnapshot `json:"spawn_latency"`
+}
+
+// snapshotHist merges histogram shards (selected by sel) into cumulative
+// buckets.
+func (m *metricsRegistry) snapshotHist(name string, sel func(*metricShard) *histShard) HistogramSnapshot {
+	var counts [histSlots + 1]uint64
+	var sum uint64
+	add := func(h *histShard) {
+		for i := range h.counts {
+			counts[i] += h.counts[i].Load()
+		}
+		sum += h.sumNs.Load()
+	}
+	if sel == nil {
+		add(&m.admitWait)
+	} else {
+		for i := range m.shards {
+			add(sel(&m.shards[i]))
+		}
+	}
+	out := HistogramSnapshot{Name: name, SumNs: sum}
+	top := 0
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if c != 0 {
+			top = i
+		}
+	}
+	out.Count = cum
+	cum = 0
+	for i := 0; i <= top && i < histSlots; i++ {
+		cum += counts[i]
+		out.Buckets = append(out.Buckets, HistogramBucket{UpperNs: bucketUpperNs(i), Count: cum})
+	}
+	out.Buckets = append(out.Buckets, HistogramBucket{UpperNs: math.MaxInt64, Count: out.Count})
+	return out
+}
+
+// snapshot merges every shard into one MetricsSnapshot.
+func (m *metricsRegistry) snapshot() MetricsSnapshot {
+	out := MetricsSnapshot{Enabled: MetricsEnabled()}
+	var loop [schedKinds]uint64
+	for i := range m.shards {
+		s := &m.shards[i]
+		out.RegionEntries += s.regionEntries.Load()
+		out.BarrierWaits += s.barrierWaits.Load()
+		out.StealAttempts += s.stealAttempts.Load()
+		out.Steals += s.steals.Load()
+		out.StealProbes += s.stealProbes.Load()
+		out.TasksSpawned += s.tasksSpawned.Load()
+		out.TasksCompleted += s.tasksCompleted.Load()
+		for k := range s.loopShares {
+			loop[k] += s.loopShares[k].Load()
+		}
+	}
+	for k, n := range loop {
+		if n != 0 {
+			out.LoopShares = append(out.LoopShares, ScheduleShareCount{
+				Schedule: sched.Kind(k).String(), Shares: n,
+			})
+		}
+	}
+	for id := range m.tenants {
+		t := &m.tenants[id]
+		admits, rejects := t.admits.Load(), t.rejects.Load()
+		if admits == 0 && rejects == 0 {
+			continue
+		}
+		name := "_other"
+		if id < maxMetricTenants {
+			name = tenantName(uint64(id))
+		}
+		out.Tenants = append(out.Tenants, TenantMetrics{
+			ID: uint64(id), Name: name,
+			Admits: admits, Queued: t.queued.Load(),
+			Rejects: rejects, Timeouts: t.timeouts.Load(),
+		})
+	}
+	sort.Slice(out.Tenants, func(i, j int) bool { return out.Tenants[i].Name < out.Tenants[j].Name })
+	out.RegionLatency = m.snapshotHist("region_latency", func(s *metricShard) *histShard { return &s.regionLat })
+	out.BarrierWait = m.snapshotHist("barrier_wait", func(s *metricShard) *histShard { return &s.barrierWait })
+	out.AdmitWait = m.snapshotHist("admit_wait", nil)
+	out.SpawnLatency = m.snapshotHist("spawn_latency", func(s *metricShard) *histShard { return &s.spawnLat })
+	return out
+}
+
+// ------------------------------------------------------------ public API --
+
+// metrics is the process-wide registry behind EnableMetrics/ReadMetrics.
+// Built lazily under installMu on first enable so tests that never touch
+// metrics pay nothing.
+var metrics *metricsRegistry
+
+// tenantNames maps admission tenant ids to names for exposition labels;
+// the admission controller registers every tenant it creates (cold path,
+// once per tenant).
+var (
+	tenantNamesMu sync.RWMutex
+	tenantNames   = map[uint64]string{}
+)
+
+// RegisterTenant records the name behind an admission tenant id so
+// per-tenant metric rows and exposition labels can carry it. Called by
+// the runtime when a tenant is first seen; re-registration overwrites.
+func RegisterTenant(id uint64, name string) {
+	tenantNamesMu.Lock()
+	tenantNames[id] = name
+	tenantNamesMu.Unlock()
+}
+
+// tenantName resolves a registered tenant id, falling back to a stable
+// placeholder for ids the runtime never registered.
+func tenantName(id uint64) string {
+	tenantNamesMu.RLock()
+	n, ok := tenantNames[id]
+	tenantNamesMu.RUnlock()
+	if ok {
+		return n
+	}
+	return "unknown"
+}
+
+// EnableMetrics turns the always-on metrics registry on or off and
+// returns the previous setting. Enabled, every runtime emit point also
+// feeds the sharded counters and histograms behind ReadMetrics — the
+// record path is preallocated padded atomics, 0 allocs/op; counters
+// accumulate until process exit and are never reset. Disabled (the
+// default), the emit points cost their usual one atomic load and branch.
+// Metrics compose with the tracer and custom tools: enabling one never
+// evicts another.
+func EnableMetrics(on bool) bool {
+	installMu.Lock()
+	defer installMu.Unlock()
+	prev := metricsHooks != nil
+	if on {
+		if metrics == nil {
+			metrics = newMetricsRegistry(defaultMaxRings())
+		}
+		if metricsHooks == nil {
+			metricsHooks = metrics.hooks()
+		}
+	} else {
+		metricsHooks = nil
+	}
+	rebuildActiveLocked()
+	return prev
+}
+
+// MetricsEnabled reports whether the metrics registry is recording.
+func MetricsEnabled() bool {
+	installMu.Lock()
+	defer installMu.Unlock()
+	return metricsHooks != nil
+}
+
+// ReadMetrics merges every shard of the metrics registry into one
+// snapshot. Safe to call at any time from any goroutine, including with
+// recording in flight — counters are monotone, so a racing scrape is at
+// worst one sample behind. Before the first EnableMetrics it returns a
+// zero snapshot.
+func ReadMetrics() MetricsSnapshot {
+	installMu.Lock()
+	m := metrics
+	installMu.Unlock()
+	if m == nil {
+		return MetricsSnapshot{
+			RegionLatency: HistogramSnapshot{Name: "region_latency", Buckets: []HistogramBucket{{UpperNs: math.MaxInt64}}},
+			BarrierWait:   HistogramSnapshot{Name: "barrier_wait", Buckets: []HistogramBucket{{UpperNs: math.MaxInt64}}},
+			AdmitWait:     HistogramSnapshot{Name: "admit_wait", Buckets: []HistogramBucket{{UpperNs: math.MaxInt64}}},
+			SpawnLatency:  HistogramSnapshot{Name: "spawn_latency", Buckets: []HistogramBucket{{UpperNs: math.MaxInt64}}},
+		}
+	}
+	return m.snapshot()
+}

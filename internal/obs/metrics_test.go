@@ -1,0 +1,375 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// drive pushes one deterministic mix of samples through a registry's hook
+// table, attributing them to worker w and tenant tn — the merge-
+// determinism test runs it with different attributions and expects
+// identical merged snapshots.
+func drive(h *Hooks, w WorkerID, tn uint64, base uint64) {
+	h.RegionFork(w, base+1, 0, 4)
+	h.RegionJoin(w, base+1, 0)
+	h.TaskCreate(w, base+2, TaskDeferred)
+	h.TaskSchedule(w, base+2)
+	h.TaskComplete(w, base+2)
+	h.TaskInline(w, base+3)
+	h.StealAttempt(w)
+	h.StealSuccess(w, base+2, w+1)
+	h.StealScan(w, 3)
+	h.BarrierDepart(w, base+1, 1500)
+	h.WorkBegin(w, base+1, 1)
+	h.AdmitGrant(tn, 700)
+	h.AdmitReject(tn, AdmitReasonTimeout)
+}
+
+// Merged snapshots must not depend on which worker (and thus which shard)
+// recorded which sample: shard merging is plain addition. Region and
+// spawn latencies are wall-clock deltas, so only their counts are
+// compared; every other field must match bit for bit.
+func TestMetricsShardMergeDeterminism(t *testing.T) {
+	RegisterTenant(0, "det-t0")
+	RegisterTenant(1, "det-t1")
+	RegisterTenant(2, "det-t2")
+	spreads := [][]WorkerID{
+		{0, 0, 0, 0, 0, 0},        // all on one shard
+		{0, 1, 2, 3, 4, 5},        // spread across shards
+		{NoWorker, 9, 9, 2, 0, 5}, // shared ring slot + repeats
+		{63, 64, 65, 0, 1, 2},     // beyond the shard bound: folded
+	}
+	normalize := func(s MetricsSnapshot) (MetricsSnapshot, uint64, uint64) {
+		regionCnt, spawnCnt := s.RegionLatency.Count, s.SpawnLatency.Count
+		s.RegionLatency = HistogramSnapshot{}
+		s.SpawnLatency = HistogramSnapshot{}
+		return s, regionCnt, spawnCnt
+	}
+	var want MetricsSnapshot
+	var wantRegion, wantSpawn uint64
+	for i, workers := range spreads {
+		m := newMetricsRegistry(8)
+		h := m.hooks()
+		for j, w := range workers {
+			drive(h, w, uint64(j%3), uint64(j)*10)
+		}
+		got, regionCnt, spawnCnt := normalize(m.snapshot())
+		if i == 0 {
+			want, wantRegion, wantSpawn = got, regionCnt, spawnCnt
+			continue
+		}
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+			t.Fatalf("spread %d produced a different snapshot:\n got %+v\nwant %+v", i, got, want)
+		}
+		if regionCnt != wantRegion || spawnCnt != wantSpawn {
+			t.Fatalf("spread %d latency counts differ: region %d/%d spawn %d/%d",
+				i, regionCnt, wantRegion, spawnCnt, wantSpawn)
+		}
+	}
+	if want.RegionEntries != 6 || want.TasksSpawned != 12 || want.TasksCompleted != 12 {
+		t.Fatalf("counter totals wrong: %+v", want)
+	}
+	if wantRegion != 6 || want.BarrierWait.Count != 6 {
+		t.Fatalf("histogram counts wrong: region=%d barrier=%d",
+			wantRegion, want.BarrierWait.Count)
+	}
+}
+
+// Histogram buckets are log2 by bit length; the boundary pins are the
+// contract the exposition's le bounds depend on.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	var h histShard
+	for _, ns := range []int64{0, 1, 2, 3, 4, 1023, 1024, -5} {
+		h.record(ns)
+	}
+	// Expected buckets: 0 -> b0; 1 -> b1; 2,3 -> b2; 4 -> b3;
+	// 1023 -> b10; 1024 -> b11; -5 discarded.
+	wantCounts := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 1, 10: 1, 11: 1}
+	for i := 0; i <= histSlots; i++ {
+		if got := h.counts[i].Load(); got != wantCounts[i] {
+			t.Fatalf("bucket %d (le %dns) = %d, want %d", i, bucketUpperNs(i), got, wantCounts[i])
+		}
+	}
+	if got := h.sumNs.Load(); got != 0+1+2+3+4+1023+1024 {
+		t.Fatalf("sum = %d, want %d (negative sample must be discarded)", got, 2057)
+	}
+	// Upper bounds: bucket i covers values with bit length i, so the
+	// inclusive bound is 2^i - 1.
+	for i, want := range map[int]int64{0: 0, 1: 1, 2: 3, 10: 1023, 11: 2047} {
+		if got := bucketUpperNs(i); got != want {
+			t.Fatalf("bucketUpperNs(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if bucketUpperNs(histSlots) != math.MaxInt64 {
+		t.Fatal("overflow bucket must be unbounded")
+	}
+
+	// A sample beyond every finite bucket lands in the overflow slot.
+	var o histShard
+	o.record(math.MaxInt64)
+	if o.counts[histSlots].Load() != 1 {
+		t.Fatal("MaxInt64 sample missed the overflow bucket")
+	}
+}
+
+// Snapshots racing with recorders must be safe (-race is the oracle) and
+// the final quiesced snapshot exact.
+func TestMetricsConcurrentRecordVsSnapshot(t *testing.T) {
+	m := newMetricsRegistry(8)
+	h := m.hooks()
+	const goroutines, iters = 8, 3000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := m.snapshot()
+			if s.TasksCompleted > s.TasksSpawned {
+				t.Error("completed ran ahead of spawned in a racing snapshot")
+				return
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := WorkerID(g)
+			for i := 0; i < iters; i++ {
+				h.TaskCreate(w, uint64(g*iters+i+1), TaskDeferred)
+				h.TaskComplete(w, uint64(g*iters+i+1))
+				h.BarrierDepart(w, 1, int64(i))
+				h.AdmitGrant(uint64(g), 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	s := m.snapshot()
+	const total = goroutines * iters
+	if s.TasksSpawned != total || s.TasksCompleted != total {
+		t.Fatalf("tasks: spawned=%d completed=%d, want %d", s.TasksSpawned, s.TasksCompleted, total)
+	}
+	if s.BarrierWait.Count != total {
+		t.Fatalf("barrier histogram count = %d, want %d", s.BarrierWait.Count, total)
+	}
+	var admits uint64
+	for _, tn := range s.Tenants {
+		admits += tn.Admits
+	}
+	if admits != total {
+		t.Fatalf("tenant admits sum = %d, want %d", admits, total)
+	}
+}
+
+// The lossy pairing table must pair when unmolested, lose on collision,
+// and never return another key's timestamp.
+func TestPairTableLossyPairing(t *testing.T) {
+	p := newPairTable(16)
+	p.put(5, 100)
+	if ns, ok := p.take(5); !ok || ns != 100 {
+		t.Fatalf("take(5) = %d,%v want 100,true", ns, ok)
+	}
+	if _, ok := p.take(5); ok {
+		t.Fatal("second take of the same key must miss")
+	}
+	// 5 and 5+16 collide; the later put owns the slot.
+	p.put(5, 100)
+	p.put(5+16, 200)
+	if _, ok := p.take(5); ok {
+		t.Fatal("overwritten key must miss, not alias the new entry")
+	}
+	if ns, ok := p.take(5 + 16); !ok || ns != 200 {
+		t.Fatalf("surviving key lost: %d,%v", ns, ok)
+	}
+}
+
+// Tenant ids beyond the table bound must aggregate on the overflow row.
+func TestTenantOverflowRow(t *testing.T) {
+	m := newMetricsRegistry(2)
+	h := m.hooks()
+	h.AdmitGrant(3, 0)
+	h.AdmitGrant(maxMetricTenants+7, 0)
+	h.AdmitGrant(maxMetricTenants+900, 0)
+	s := m.snapshot()
+	var other *TenantMetrics
+	for i := range s.Tenants {
+		if s.Tenants[i].Name == "_other" {
+			other = &s.Tenants[i]
+		}
+	}
+	if other == nil || other.Admits != 2 {
+		t.Fatalf("overflow row missing or wrong: %+v", s.Tenants)
+	}
+}
+
+// The registry's own exposition must satisfy its own strict lint, and
+// counters must round-trip: values written are values parsed.
+func TestExpositionRoundTrip(t *testing.T) {
+	prevEnabled := EnableMetrics(true)
+	defer EnableMetrics(prevEnabled)
+	installMu.Lock()
+	h := metricsHooks
+	installMu.Unlock()
+
+	RegisterTenant(242, "roundtrip-tenant")
+	h.RegionFork(1, 777001, 0, 4)
+	h.RegionJoin(1, 777001, 0)
+	h.AdmitGrant(242, 900)
+	h.WorkBegin(1, 777001, 0)
+
+	var buf bytes.Buffer
+	extra := Family{Name: "aomp_roundtrip_gauge", Help: "test gauge", Type: "gauge",
+		Samples: []Sample{{Value: 12.5}}}
+	if err := WriteMetricsText(&buf, extra); err != nil {
+		t.Fatalf("WriteMetricsText: %v", err)
+	}
+	text := buf.String()
+	if err := LintExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("own exposition fails own lint: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"aomp_region_entries_total ",
+		`aomp_tenant_admits_total{tenant="roundtrip-tenant"} `,
+		`aomp_region_latency_seconds_bucket{le="+Inf"} `,
+		"aomp_region_latency_seconds_count ",
+		"aomp_roundtrip_gauge 12.5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// The lint is the CI oracle; it must reject the failure classes it
+// exists to catch.
+func TestLintRejections(t *testing.T) {
+	cases := map[string]string{
+		"duplicate sample": `# HELP aomp_x help
+# TYPE aomp_x counter
+aomp_x 1
+aomp_x 2
+`,
+		"duplicate TYPE": `# TYPE aomp_x counter
+# TYPE aomp_x counter
+aomp_x 1
+`,
+		"TYPE after sample": `# TYPE aomp_x counter
+aomp_x 1
+# TYPE aomp_y counter
+# TYPE aomp_x gauge
+`,
+		"undeclared family": `# TYPE aomp_x counter
+aomp_y 1
+`,
+		"invalid metric name": `# TYPE aomp_x counter
+0badname 1
+`,
+		"invalid label name": `# TYPE aomp_x counter
+aomp_x{0bad="v"} 1
+`,
+		"unparseable value": `# TYPE aomp_x counter
+aomp_x one
+`,
+		"histogram without +Inf": `# TYPE aomp_h histogram
+aomp_h_bucket{le="0.5"} 1
+aomp_h_count 1
+`,
+		"decreasing buckets": `# TYPE aomp_h histogram
+aomp_h_bucket{le="0.5"} 5
+aomp_h_bucket{le="1"} 3
+aomp_h_bucket{le="+Inf"} 5
+aomp_h_count 5
+`,
+		"count disagrees with +Inf": `# TYPE aomp_h histogram
+aomp_h_bucket{le="+Inf"} 5
+aomp_h_count 7
+`,
+	}
+	for name, text := range cases {
+		if err := LintExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("lint accepted %s:\n%s", name, text)
+		}
+	}
+	good := `# HELP aomp_x fine
+# TYPE aomp_x counter
+aomp_x{a="1"} 1
+aomp_x{a="2"} 2
+`
+	if err := LintExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("lint rejected valid exposition: %v", err)
+	}
+}
+
+// The exposition must stay lint-clean whatever the registry's state —
+// including the zero snapshot ReadMetrics fabricates before the first
+// EnableMetrics (every histogram carries its +Inf bucket, never nils).
+func TestZeroSnapshotWellFormed(t *testing.T) {
+	s := ReadMetrics()
+	for _, h := range []HistogramSnapshot{s.RegionLatency, s.BarrierWait, s.AdmitWait, s.SpawnLatency} {
+		if len(h.Buckets) == 0 {
+			t.Fatalf("histogram %q snapshot has no buckets (missing +Inf)", h.Name)
+		}
+		if h.Buckets[len(h.Buckets)-1].UpperNs != math.MaxInt64 {
+			t.Fatalf("histogram %q last bucket is not +Inf", h.Name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteMetricsText(&buf); err != nil {
+		t.Fatalf("WriteMetricsText on zero registry: %v", err)
+	}
+	if err := LintExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("zero exposition fails lint: %v\n%s", err, buf.String())
+	}
+}
+
+// Hook composition: with two consumers installed the published table must
+// fan every event out to both; dropping back to one must publish that
+// table directly; dropping to zero must publish nil.
+func TestHookSlotComposition(t *testing.T) {
+	var toolForks int
+	prevTool := SetHooks(&Hooks{
+		RegionFork: func(WorkerID, uint64, int, int) { toolForks++ },
+	})
+	defer SetHooks(prevTool)
+	prevMetrics := EnableMetrics(true)
+	defer EnableMetrics(prevMetrics)
+
+	before := ReadMetrics().RegionEntries
+	h := Active()
+	if h == nil {
+		t.Fatal("active table nil with two consumers installed")
+	}
+	h.RegionFork(0, 888001, 0, 2)
+	if toolForks != 1 {
+		t.Fatalf("custom tool missed the fanned-out event (forks=%d)", toolForks)
+	}
+	if got := ReadMetrics().RegionEntries; got != before+1 {
+		t.Fatalf("metrics missed the fanned-out event (%d -> %d)", before, got)
+	}
+
+	EnableMetrics(false)
+	if Active() == nil || Active().RegionFork == nil {
+		t.Fatal("tool slot lost when metrics disabled")
+	}
+	Active().RegionFork(0, 888002, 0, 2)
+	if toolForks != 2 {
+		t.Fatalf("tool stopped receiving after metrics disabled (forks=%d)", toolForks)
+	}
+	if got := ReadMetrics().RegionEntries; got != before+1 {
+		t.Fatalf("metrics kept counting while disabled (%d)", got)
+	}
+}

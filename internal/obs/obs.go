@@ -128,6 +128,17 @@ var active atomic.Pointer[Hooks]
 func Active() *Hooks { return active.Load() }
 
 // SetHooks installs a custom tool's hook table (nil uninstalls), returning
-// the previous table. The table must not be mutated after installation —
-// publish a fresh one instead.
-func SetHooks(h *Hooks) *Hooks { return active.Swap(h) }
+// the previous occupant of the tool slot (the custom table or the built-in
+// tracer it replaces). The table must not be mutated after installation —
+// publish a fresh one instead. A custom tool shares the tool slot with the
+// built-in tracer exactly as before, but composes freely with the metrics
+// registry and the flight recorder: events fan out to every enabled
+// consumer.
+func SetHooks(h *Hooks) *Hooks {
+	installMu.Lock()
+	defer installMu.Unlock()
+	prev := toolHooks
+	toolHooks = h
+	rebuildActiveLocked()
+	return prev
+}

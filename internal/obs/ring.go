@@ -128,6 +128,49 @@ func (r *ring) drain() []Event {
 	return out
 }
 
+// snapshot copies out all buffered records in claim order without
+// consuming them — the flight recorder's read: the window stays buffered
+// for later triggers, aging out via trim instead of the drain. Writers
+// are excluded (and drop, counted) exactly as in drain.
+func (r *ring) snapshot() []Event {
+	r.draining.Store(true)
+	for r.writers.Load() != 0 {
+		runtime.Gosched()
+	}
+	base, next := r.base.Load(), r.next.Load()
+	var out []Event
+	if next > base {
+		out = make([]Event, 0, next-base)
+		for i := base; i < next; i++ {
+			out = append(out, r.buf[i&r.mask])
+		}
+	}
+	r.draining.Store(false)
+	return out
+}
+
+// trim advances base past records older than cutoff (When < cutoff) and,
+// if the buffer is still fuller than maxLive records, past the oldest
+// overflow — the flight recorder's aging pass, keeping the ring a bounded
+// sliding window instead of a fill-once buffer. Runs under the same
+// writer-exclusion handshake as drain; maxLive <= 0 skips the occupancy
+// bound.
+func (r *ring) trim(cutoff int64, maxLive int) {
+	r.draining.Store(true)
+	for r.writers.Load() != 0 {
+		runtime.Gosched()
+	}
+	base, next := r.base.Load(), r.next.Load()
+	for base < next && r.buf[base&r.mask].When < cutoff {
+		base++
+	}
+	if maxLive > 0 && next-base > uint64(maxLive) {
+		base = next - uint64(maxLive)
+	}
+	r.base.Store(base)
+	r.draining.Store(false)
+}
+
 // reset discards buffered records and the drop counter (StartTrace).
 func (r *ring) reset() {
 	r.draining.Store(true)

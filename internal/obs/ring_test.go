@@ -180,6 +180,46 @@ func TestRingPoolBounded(t *testing.T) {
 	}
 }
 
+// RingDrops must accumulate across StartTrace resets (unlike
+// EventsDropped, which each reset zeroes), and the ring/fold accounting
+// must report the pool's true shape.
+func TestStatsRingAccounting(t *testing.T) {
+	c := newCollector(8, 4)
+	h := c.hooks()
+	c.start()
+	for i := 0; i < 20; i++ {
+		h.TaskCreate(1, uint64(i+1), TaskDeferred) // capacity 8: 12 drops
+	}
+	st := c.stats()
+	if st.EventsDropped != 12 || st.RingDrops != 12 {
+		t.Fatalf("after overflow: EventsDropped=%d RingDrops=%d, want 12/12", st.EventsDropped, st.RingDrops)
+	}
+	c.start() // reset zeroes the live drop counters
+	st = c.stats()
+	if st.EventsDropped != 0 {
+		t.Fatalf("EventsDropped survived the reset: %d", st.EventsDropped)
+	}
+	if st.RingDrops != 12 {
+		t.Fatalf("RingDrops lost the pre-reset drops: %d, want 12", st.RingDrops)
+	}
+	for i := 0; i < 10; i++ {
+		h.TaskCreate(1, uint64(i+1), TaskDeferred) // 2 more drops
+	}
+	if st = c.stats(); st.RingDrops != 14 {
+		t.Fatalf("RingDrops = %d, want 14 (cumulative across traces)", st.RingDrops)
+	}
+	if st.TraceRings == 0 || st.TraceRings > 4 {
+		t.Fatalf("TraceRings = %d, want 1..4", st.TraceRings)
+	}
+	if st.WorkersFolded != 0 {
+		t.Fatalf("WorkersFolded = %d before any fold", st.WorkersFolded)
+	}
+	h.TaskCreate(10, 99, TaskDeferred) // idx 11 folds (bound 4)
+	if st = c.stats(); st.WorkersFolded != 8 {
+		t.Fatalf("WorkersFolded = %d, want 8 (raw indices 4..11 share rings)", st.WorkersFolded)
+	}
+}
+
 func TestInternNameStable(t *testing.T) {
 	c := newCollector(8, 128)
 	a, b := c.intern("Demo.run"), c.intern("Demo.loop")

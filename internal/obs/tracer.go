@@ -44,7 +44,21 @@ type Stats struct {
 	AdmitTimeouts uint64 // refusals specifically due to a queue-wait timeout
 
 	EventsRecorded uint64 // records stored in trace ring buffers
-	EventsDropped  uint64 // records dropped: ring full or drain in progress
+	EventsDropped  uint64 // records dropped since the last StartTrace reset
+
+	// Ring-buffer accounting, exposed so production monitors can tell a
+	// quiet trace from one that silently shed events. RingDrops is the
+	// cumulative drop count across every trace since the tracer was
+	// created — unlike EventsDropped it survives StartTrace resets (the
+	// accumulation happens at reset time, so drops landing mid-reset may
+	// be counted one snapshot late). TraceRings is the number of ring
+	// buffers allocated so far; WorkersFolded estimates how many distinct
+	// workers were folded onto shared rings because their ids exceeded
+	// the ring bound (exact when worker ids are dense, a lower bound
+	// otherwise).
+	RingDrops     uint64
+	TraceRings    int
+	WorkersFolded int
 }
 
 // counters is the atomic backing of Stats.
@@ -90,6 +104,13 @@ type collector struct {
 	growMu   sync.Mutex
 	ringCap  int
 	maxRings int
+
+	// droppedCum accumulates per-ring drop counters across StartTrace
+	// resets (each reset zeroes the live counters); foldedMax tracks the
+	// highest raw ring index ever folded, so stats can report how many
+	// workers shared rings.
+	droppedCum atomic.Uint64
+	foldedMax  atomic.Int64
 
 	// rates holds the per-worker throughput counters behind
 	// ReadWorkerRates, indexed and folded exactly like rings (WorkerID+1,
@@ -153,6 +174,14 @@ func (c *collector) ring(w WorkerID) *ring {
 		idx = 0
 	}
 	if idx >= c.maxRings {
+		// Track the widest fold for stats; the CAS loop runs only while
+		// new maxima appear, so steady state costs one load + branch.
+		for {
+			m := c.foldedMax.Load()
+			if int64(idx) <= m || c.foldedMax.CompareAndSwap(m, int64(idx)) {
+				break
+			}
+		}
 		idx = 1 + (idx-1)%(c.maxRings-1)
 	}
 	rs := *c.rings.Load()
@@ -203,6 +232,9 @@ func (c *collector) record(w WorkerID, ev Event) {
 func (c *collector) start() {
 	c.recording.Store(false)
 	for _, r := range *c.rings.Load() {
+		// Fold the live drop counter into the cumulative total before the
+		// reset zeroes it, so RingDrops survives trace restarts.
+		c.droppedCum.Add(r.dropped.Load())
 		r.reset()
 	}
 	c.epoch.Store(monotonicNs())
@@ -222,10 +254,18 @@ func (c *collector) stop() []Event {
 // stats snapshots the counters.
 func (c *collector) stats() Stats {
 	var dropped uint64
-	for _, r := range *c.rings.Load() {
+	rings := *c.rings.Load()
+	for _, r := range rings {
 		dropped += r.dropped.Load()
 	}
+	folded := 0
+	if m := c.foldedMax.Load(); m >= int64(c.maxRings) {
+		folded = int(m) - c.maxRings + 1
+	}
 	return Stats{
+		RingDrops:      c.droppedCum.Load() + dropped,
+		TraceRings:     len(rings),
+		WorkersFolded:  folded,
 		RegionForks:    c.c.regionForks.Load(),
 		RegionJoins:    c.c.regionJoins.Load(),
 		TeamLeases:     c.c.teamLeases.Load(),
@@ -394,38 +434,42 @@ func (c *collector) hooks() *Hooks {
 // tracer is the process-wide built-in collector behind EnableTracing,
 // StartTrace, StopTrace, ReadStats and InternName.
 var (
-	tracerMu    sync.Mutex
 	tracer      = newCollector(DefaultRingCapacity, defaultMaxRings())
 	tracerHooks *Hooks
 )
 
-// EnableTracing installs (or uninstalls) the built-in tracer as the active
-// tool and returns whether it was previously installed. Enabling starts
+// EnableTracing installs (or uninstalls) the built-in tracer in the tool
+// slot and returns whether it was previously installed. Enabling starts
 // the aggregate counters; event buffering additionally needs StartTrace.
-// Disabling leaves a custom tool installed with SetHooks untouched.
+// Enabling replaces a custom tool installed with SetHooks (they share the
+// tool slot), but composes with the metrics registry and the flight
+// recorder. Disabling leaves a custom tool untouched.
 func EnableTracing(on bool) bool {
-	tracerMu.Lock()
-	defer tracerMu.Unlock()
-	prev := tracerHooks != nil && Active() == tracerHooks
+	installMu.Lock()
+	defer installMu.Unlock()
+	prev := tracerHooks != nil && toolHooks == tracerHooks
 	if on {
 		if tracerHooks == nil {
 			tracerHooks = tracer.hooks()
 		}
-		active.Store(tracerHooks)
+		toolHooks = tracerHooks
+		rebuildActiveLocked()
 		return prev
 	}
 	tracer.recording.Store(false)
 	if prev {
-		active.CompareAndSwap(tracerHooks, nil)
+		toolHooks = nil
+		rebuildActiveLocked()
 	}
 	return prev
 }
 
-// TracingEnabled reports whether the built-in tracer is the active tool.
+// TracingEnabled reports whether the built-in tracer occupies the tool
+// slot.
 func TracingEnabled() bool {
-	tracerMu.Lock()
-	defer tracerMu.Unlock()
-	return tracerHooks != nil && Active() == tracerHooks
+	installMu.Lock()
+	defer installMu.Unlock()
+	return tracerHooks != nil && toolHooks == tracerHooks
 }
 
 // StartTrace enables the tracer if needed and begins recording events into
@@ -497,8 +541,8 @@ func InternName(name string) uint32 { return tracer.intern(name) }
 // returns the previous setting. Existing rings keep their size; call it
 // before the first StartTrace. Intended for tests and long traces.
 func SetRingCapacity(n int) int {
-	tracerMu.Lock()
-	defer tracerMu.Unlock()
+	installMu.Lock()
+	defer installMu.Unlock()
 	prev := tracer.ringCap
 	if n > 0 {
 		tracer.ringCap = n

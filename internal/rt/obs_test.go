@@ -170,6 +170,72 @@ func BenchmarkTaskSpawnWaitTraced(b *testing.B) {
 	})
 }
 
+// The CI allocation gates for the metrics-enabled emit path mirror the
+// traced ones: with the always-on registry recording, a warm region entry
+// and the task spawn path must stay 0 allocs/op — the registry's record
+// path is preallocated padded atomics and lossy pairing tables, nothing
+// allocating.
+
+func BenchmarkRegionEntryWarmMetrics(b *testing.B) {
+	prev := SetHotTeams(true)
+	defer SetHotTeams(prev)
+	prevM := obs.EnableMetrics(true)
+	defer obs.EnableMetrics(prevM)
+	b.ReportAllocs()
+	Region(2, func(w *Worker) {}) // warm team + allocate shards
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Region(2, func(w *Worker) {})
+	}
+}
+
+func BenchmarkTaskSpawnWaitMetrics(b *testing.B) {
+	prevM := obs.EnableMetrics(true)
+	defer obs.EnableMetrics(prevM)
+	b.ReportAllocs()
+	Region(2, func(w *Worker) {
+		if w.ID != 0 {
+			return
+		}
+		var x int
+		body := func() { x++ }
+		Spawn(body)
+		TaskWait() // touch the shards before the measured loop
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Spawn(body)
+			if i&63 == 63 {
+				TaskWait()
+			}
+		}
+		TaskWait()
+		b.StopTimer()
+		_ = x
+	})
+}
+
+// Per-tenant metric rows must carry the tenant names the admission
+// controller registered, so exposition labels and dashboards are
+// name-addressed rather than id-addressed.
+func TestMetricsTenantRegistration(t *testing.T) {
+	prevM := obs.EnableMetrics(true)
+	defer obs.EnableMetrics(prevM)
+	prevAdm := SetAdmissionControl(true)
+	defer SetAdmissionControl(prevAdm)
+
+	tok := EnterTenant("metrics-reg-tenant")
+	Region(2, func(w *Worker) {})
+	tok.Exit()
+
+	snap := obs.ReadMetrics()
+	for _, tn := range snap.Tenants {
+		if tn.Name == "metrics-reg-tenant" && tn.Admits > 0 {
+			return
+		}
+	}
+	t.Fatalf("no admitted row named metrics-reg-tenant in %+v", snap.Tenants)
+}
+
 // TestHotTeamTraceDrainRacesRetirement drains the trace (StopTrace →
 // ring drains → immediate StartTrace reset) while teams are being
 // retired under it — worker panics poisoning teams, SetPoolSize evicting
