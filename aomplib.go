@@ -95,8 +95,33 @@ type Annotation = weaver.Annotation
 // WovenMethod describes one method's weave state in reports.
 type WovenMethod = weaver.WovenMethod
 
+// AdviceInfo is the per-advice detail in a weave report: deploying aspect,
+// advice name, matching pointcut and current gate state.
+type AdviceInfo = weaver.AdviceInfo
+
+// ProgramOpt configures a Program at creation (see Ungated).
+type ProgramOpt = weaver.ProgramOpt
+
+// Ungated builds advice chains without per-advice enable gates — the
+// ablation baseline for measuring gate cost. Ungated programs cannot use
+// Program.SetAdviceEnabled.
+var Ungated = weaver.Ungated
+
+// StaticPlan is a frozen snapshot of a program's weave, embedded by the
+// static-weave backend (cmd/weavegen) and re-verified at bind time with
+// Program.VerifyPlan.
+type StaticPlan = weaver.StaticPlan
+
+// PlannedMethod is one method's weave state inside a StaticPlan.
+type PlannedMethod = weaver.PlannedMethod
+
+// PlannedAdvice identifies one applied advice inside a PlannedMethod.
+type PlannedAdvice = weaver.PlannedAdvice
+
 // NewProgram creates an empty program registry.
-func NewProgram(name string) *Program { return weaver.NewProgram(name) }
+func NewProgram(name string, opts ...ProgramOpt) *Program {
+	return weaver.NewProgram(name, opts...)
+}
 
 // Implements declares interfaces a class implements (class option).
 var Implements = weaver.Implements

@@ -8,6 +8,12 @@
 //
 //	go run ./cmd/weavedump            # all benchmarks
 //	go run ./cmd/weavedump -only=lufact
+//	go run ./cmd/weavedump -explain   # show which pointcut matched each advice
+//
+// Each advice line carries its gate state ([on]/[off], see
+// Program.SetAdviceEnabled); with -explain it also shows the pointcut
+// expression that selected the joinpoint, resolved through the weaver's
+// pointcut index.
 package main
 
 import (
@@ -34,6 +40,7 @@ type weaveReporter interface {
 
 func main() {
 	only := flag.String("only", "", "comma-separated benchmark filter")
+	explain := flag.Bool("explain", false, "show the pointcut that matched each joinpoint")
 	flag.Parse()
 	filter := map[string]bool{}
 	for _, f := range strings.Split(*only, ",") {
@@ -71,8 +78,16 @@ func main() {
 				fmt.Println("      (unadvised — direct call)")
 				continue
 			}
-			for i, adv := range wm.Advice {
-				fmt.Printf("      %s%s\n", strings.Repeat("  ", i), adv)
+			for i, d := range wm.Details {
+				state := "on"
+				if !d.Enabled {
+					state = "off"
+				}
+				fmt.Printf("      %s%s/%s [%s]", strings.Repeat("  ", i), d.Aspect, d.Advice, state)
+				if *explain {
+					fmt.Printf("  ← %s", d.Pointcut)
+				}
+				fmt.Println()
 			}
 		}
 		fmt.Println()

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGeneratedFilesAreCurrent regenerates every target in memory and
+// compares it with the committed file: any change to a target's joinpoints
+// or aspect composition must be accompanied by re-running go generate.
+func TestGeneratedFilesAreCurrent(t *testing.T) {
+	for name, tgt := range targets() {
+		got, err := generate(name)
+		if err != nil {
+			t.Fatalf("generate(%q): %v", name, err)
+		}
+		path := filepath.Join("..", "..", tgt.defaultOut)
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("target %q: %v (run: go run aomplib/cmd/weavegen -target=%s)", name, err, name)
+		}
+		if string(got) != string(want) {
+			t.Errorf("target %q: %s is stale — re-run go generate (go run aomplib/cmd/weavegen -target=%s -o=%s)",
+				name, tgt.defaultOut, name, tgt.defaultOut)
+		}
+	}
+}
+
+// TestGenerateRejectsUnknownTarget pins the error path.
+func TestGenerateRejectsUnknownTarget(t *testing.T) {
+	if _, err := generate("nope"); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+// TestBenchDemoProgramMatchesPlan pins that the in-tool demo constructor
+// produces the configuration its emitted copy claims to.
+func TestBenchDemoProgramMatchesPlan(t *testing.T) {
+	p := newBenchDemoProgram(4)
+	plan := p.Plan()
+	if plan.Program != "staticbench" || len(plan.Methods) != 2 {
+		t.Fatalf("demo plan = %+v", plan)
+	}
+	for _, m := range plan.Methods {
+		switch m.FQN {
+		case "A.m":
+			if len(m.Advice) != 1 || m.Advice[0].Name != "parallel" {
+				t.Fatalf("A.m advice = %+v", m.Advice)
+			}
+		case "A.plain":
+			if len(m.Advice) != 0 {
+				t.Fatalf("A.plain advice = %+v", m.Advice)
+			}
+		default:
+			t.Fatalf("unexpected method %s", m.FQN)
+		}
+	}
+}

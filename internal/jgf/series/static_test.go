@@ -1,0 +1,48 @@
+package series
+
+import "testing"
+
+// TestStaticWeaveEquivalence runs the kernel through the dynamic weaver
+// and through the statically woven entries (cmd/weavegen) and requires
+// bitwise-identical coefficients: the static backend must be an
+// optimisation, never a semantic change.
+func TestStaticWeaveEquivalence(t *testing.T) {
+	dyn := NewAomp(SizeTest, 2).(*aompInstance)
+	dyn.Setup()
+	dyn.Kernel()
+	if err := dyn.Validate(); err != nil {
+		t.Fatalf("dynamic: %v", err)
+	}
+
+	st := NewAomp(SizeTest, 2).(*aompInstance)
+	st.Setup()
+	if err := st.UseStatic(); err != nil {
+		t.Fatalf("UseStatic: %v", err)
+	}
+	st.Kernel()
+	if err := st.Validate(); err != nil {
+		t.Fatalf("static: %v", err)
+	}
+
+	for j := 0; j < 2; j++ {
+		for i := range dyn.s.TestArray[j] {
+			if dyn.s.TestArray[j][i] != st.s.TestArray[j][i] {
+				t.Fatalf("coefficient [%d][%d]: dynamic %v, static %v",
+					j, i, dyn.s.TestArray[j][i], st.s.TestArray[j][i])
+			}
+		}
+	}
+}
+
+// TestUseStaticRejectsDrift pins that a reconfigured program cannot bind
+// stale static entries.
+func TestUseStaticRejectsDrift(t *testing.T) {
+	in := NewAomp(SizeTest, 2).(*aompInstance)
+	in.Setup()
+	if err := in.prog.SetAdviceEnabled("For", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.UseStatic(); err == nil {
+		t.Fatal("UseStatic bound against a drifted configuration")
+	}
+}

@@ -1,0 +1,37 @@
+package sor
+
+import "testing"
+
+// TestStaticWeaveEquivalence runs the red-black sweep through the dynamic
+// weaver and through the statically woven entries (cmd/weavegen) and
+// requires a bitwise-identical grid: the static backend must be an
+// optimisation, never a semantic change.
+func TestStaticWeaveEquivalence(t *testing.T) {
+	dyn := NewAomp(SizeTest, 2).(*aompInstance)
+	dyn.Setup()
+	dyn.Kernel()
+	if err := dyn.Validate(); err != nil {
+		t.Fatalf("dynamic: %v", err)
+	}
+
+	st := NewAomp(SizeTest, 2).(*aompInstance)
+	st.Setup()
+	if err := st.UseStatic(); err != nil {
+		t.Fatalf("UseStatic: %v", err)
+	}
+	st.Kernel()
+	if err := st.Validate(); err != nil {
+		t.Fatalf("static: %v", err)
+	}
+
+	if dyn.s.gTotal != st.s.gTotal {
+		t.Fatalf("gTotal: dynamic %v, static %v", dyn.s.gTotal, st.s.gTotal)
+	}
+	for i := range dyn.s.g {
+		for j := range dyn.s.g[i] {
+			if dyn.s.g[i][j] != st.s.g[i][j] {
+				t.Fatalf("grid [%d][%d]: dynamic %v, static %v", i, j, dyn.s.g[i][j], st.s.g[i][j])
+			}
+		}
+	}
+}

@@ -130,9 +130,24 @@ func (l *lexer) scanIdent() token {
 
 // ------------------------------------------------------------ parser --
 
-type parser struct{ lex *lexer }
+// maxParseDepth bounds expression nesting so hostile inputs (kilobytes of
+// '(' or '!') fail with an error instead of exhausting the goroutine
+// stack — a contract the fuzz harness pins.
+const maxParseDepth = 64
 
-func (p *parser) parseExpr() (node, error) { return p.parseOr() }
+type parser struct {
+	lex   *lexer
+	depth int
+}
+
+func (p *parser) parseExpr() (node, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxParseDepth {
+		return nil, fmt.Errorf("expression nested deeper than %d", maxParseDepth)
+	}
+	return p.parseOr()
+}
 
 func (p *parser) parseOr() (node, error) {
 	left, err := p.parseAnd()
@@ -167,6 +182,11 @@ func (p *parser) parseAnd() (node, error) {
 }
 
 func (p *parser) parseUnary() (node, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxParseDepth {
+		return nil, fmt.Errorf("expression nested deeper than %d", maxParseDepth)
+	}
 	switch tok := p.lex.peek(); tok.kind {
 	case tokNot:
 		p.lex.next()
@@ -207,7 +227,7 @@ func (p *parser) parsePrimitive() (node, error) {
 		if perr != nil {
 			return nil, perr
 		}
-		n = withinNode{pattern: pat}
+		n = withinNode{pattern: compilePattern(pat)}
 	case "annotation":
 		if t := p.lex.next(); t.kind != tokAt {
 			return nil, fmt.Errorf("expected '@' in annotation()")
@@ -298,15 +318,15 @@ func (p *parser) parseSignature() (node, error) {
 	last := frags[len(frags)-1]
 	rest := frags[:len(frags)-1]
 	if dotted && strings.HasPrefix(last.text, ".") {
-		sig.namePat = last.text[1:]
+		sig.namePat = compilePattern(last.text[1:])
 		if len(rest) == 0 {
 			return nil, fmt.Errorf("dangling '.' in signature")
 		}
 		cls := rest[len(rest)-1]
-		sig.classPat, sig.subtypes = cls.text, cls.plus
+		sig.classPat, sig.subtypes = compilePattern(cls.text), cls.plus
 		rest = rest[:len(rest)-1]
 	} else {
-		sig.namePat = last.text
+		sig.namePat = compilePattern(last.text)
 	}
 	switch len(rest) {
 	case 0:

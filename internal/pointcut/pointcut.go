@@ -53,7 +53,11 @@ type Subject interface {
 	ClassIsA(typeName string) bool
 }
 
-// Pointcut is a compiled pointcut expression.
+// Pointcut is a compiled pointcut expression. Wildcard fragments are
+// compiled into shape-classified matchers at parse time (exact, prefix,
+// suffix, contains, or general fragment scans), so Matches never re-splits
+// pattern strings — weaving over large registries pays string comparisons,
+// not allocations.
 type Pointcut struct {
 	src  string
 	expr node
@@ -88,9 +92,56 @@ func (p *Pointcut) Matches(s Subject) bool { return p.expr.matches(s) }
 // String returns the source expression.
 func (p *Pointcut) String() string { return p.src }
 
+// Hints returns the statically derived candidate keys of the pointcut —
+// the basis of the weaver's pointcut→joinpoint index. See the Hints type
+// for the superset contract.
+func (p *Pointcut) Hints() Hints { return p.expr.hints() }
+
+// Hints describes a statically known superset of the joinpoints a pointcut
+// can select, expressed as exact index keys. Unless All is set, every
+// subject the pointcut matches is guaranteed to have a declaring class
+// named in Classes, or a method name in Methods, or an annotation named in
+// Annotations (the union of the three key sets covers the match set). An
+// indexed registry therefore only needs to evaluate the pointcut against
+// the union of those buckets; All means no static narrowing was possible
+// and every joinpoint is a candidate.
+type Hints struct {
+	// All reports that the pointcut could not be narrowed (wildcarded
+	// names, subtype operators, negations).
+	All bool
+	// Classes lists exact declaring-class names.
+	Classes []string
+	// Methods lists exact method names.
+	Methods []string
+	// Annotations lists annotation names required by the pointcut.
+	Annotations []string
+}
+
+// union merges two hint sets: the result covers every subject either side
+// covers.
+func (h Hints) union(o Hints) Hints {
+	if h.All || o.All {
+		return Hints{All: true}
+	}
+	return Hints{
+		Classes:     append(append([]string(nil), h.Classes...), o.Classes...),
+		Methods:     append(append([]string(nil), h.Methods...), o.Methods...),
+		Annotations: append(append([]string(nil), h.Annotations...), o.Annotations...),
+	}
+}
+
+// empty reports whether no key and no All flag is present (an impossible
+// match set; treated as All by callers out of caution).
+func (h Hints) empty() bool {
+	return !h.All && len(h.Classes) == 0 && len(h.Methods) == 0 && len(h.Annotations) == 0
+}
+
 // ---------------------------------------------------------------- AST --
 
-type node interface{ matches(Subject) bool }
+type node interface {
+	matches(Subject) bool
+	hints() Hints
+}
 
 type orNode struct{ l, r node }
 type andNode struct{ l, r node }
@@ -100,24 +151,44 @@ func (n orNode) matches(s Subject) bool  { return n.l.matches(s) || n.r.matches(
 func (n andNode) matches(s Subject) bool { return n.l.matches(s) && n.r.matches(s) }
 func (n notNode) matches(s Subject) bool { return !n.n.matches(s) }
 
+// An or covers only what both branches cover; an and is covered by either
+// branch alone, so the narrower (non-All) side's keys suffice; a negation
+// can select anything outside its operand and is never narrowable.
+func (n orNode) hints() Hints { return n.l.hints().union(n.r.hints()) }
+func (n andNode) hints() Hints {
+	if h := n.l.hints(); !h.All {
+		return h
+	}
+	return n.r.hints()
+}
+func (n notNode) hints() Hints { return Hints{All: true} }
+
 // withinNode matches the declaring class (no subtype operator in within,
 // matching AspectJ's lexical semantics approximated on classes).
-type withinNode struct{ pattern string }
+type withinNode struct{ pattern pattern }
 
-func (n withinNode) matches(s Subject) bool { return wildcardMatch(n.pattern, s.ClassName()) }
+func (n withinNode) matches(s Subject) bool { return n.pattern.match(s.ClassName()) }
+
+func (n withinNode) hints() Hints {
+	if lit, ok := n.pattern.literal(); ok {
+		return Hints{Classes: []string{lit}}
+	}
+	return Hints{All: true}
+}
 
 // annotationNode matches methods carrying a named annotation.
 type annotationNode struct{ name string }
 
 func (n annotationNode) matches(s Subject) bool { return s.HasAnnotation(n.name) }
+func (n annotationNode) hints() Hints           { return Hints{Annotations: []string{n.name}} }
 
 // sigNode matches a call/execution signature.
 type sigNode struct {
 	annotations []string
-	ret         string // "", "*", "void", or a concrete kind
-	classPat    string // "" or "*" match any class
-	subtypes    bool   // classPat+ — include inheritance chain
-	namePat     string
+	ret         string  // "", "*", "void", or a concrete kind
+	classPat    pattern // empty raw or "*" match any class
+	subtypes    bool    // classPat+ — include inheritance chain
+	namePat     pattern
 	args        []string // each "int", "*", or ".."; nil == ".."
 }
 
@@ -138,19 +209,35 @@ func (n sigNode) matches(s Subject) bool {
 			return false
 		}
 	}
-	if n.classPat != "" && n.classPat != "*" {
+	if n.classPat.raw != "" && n.classPat.raw != "*" {
 		if n.subtypes {
-			if !s.ClassIsA(n.classPat) && !wildcardMatch(n.classPat, s.ClassName()) {
+			if !s.ClassIsA(n.classPat.raw) && !n.classPat.match(s.ClassName()) {
 				return false
 			}
-		} else if !wildcardMatch(n.classPat, s.ClassName()) {
+		} else if !n.classPat.match(s.ClassName()) {
 			return false
 		}
 	}
-	if !wildcardMatch(n.namePat, s.MethodName()) {
+	if !n.namePat.match(s.MethodName()) {
 		return false
 	}
 	return argsMatch(n.args, s.ArgKinds())
+}
+
+func (n sigNode) hints() Hints {
+	// Required annotations are the most selective key; an exact class (the
+	// subtype operator reaches classes with other names, so it disables the
+	// key) comes next; an exact method name last.
+	if len(n.annotations) > 0 {
+		return Hints{Annotations: []string{n.annotations[0]}}
+	}
+	if lit, ok := n.classPat.literal(); ok && !n.subtypes {
+		return Hints{Classes: []string{lit}}
+	}
+	if lit, ok := n.namePat.literal(); ok {
+		return Hints{Methods: []string{lit}}
+	}
+	return Hints{All: true}
 }
 
 func argsMatch(pats, kinds []string) bool {
@@ -177,17 +264,77 @@ func argsMatch(pats, kinds []string) bool {
 	return i == len(kinds)
 }
 
-// wildcardMatch matches s against pattern where '*' matches any (possibly
-// empty) sequence of characters.
-func wildcardMatch(pattern, s string) bool {
-	if pattern == "*" {
+// ------------------------------------------------- compiled patterns --
+
+// patKind classifies a compiled wildcard pattern by shape, so the common
+// spellings ("relax*", "*Cols", "*force*", exact names) match with one
+// strings primitive instead of a fragment scan.
+type patKind uint8
+
+const (
+	patExact patKind = iota
+	patAny
+	patPrefix
+	patSuffix
+	patContains
+	patGeneral
+)
+
+// pattern is a wildcard identifier pattern compiled at parse time: '*'
+// matches any (possibly empty) sequence of characters.
+type pattern struct {
+	raw   string
+	kind  patKind
+	lit   string   // the literal fragment of exact/prefix/suffix/contains
+	parts []string // '*'-split fragments of the general shape
+}
+
+// compilePattern classifies raw once; match never re-splits it.
+func compilePattern(raw string) pattern {
+	if raw == "*" {
+		return pattern{raw: raw, kind: patAny}
+	}
+	if !strings.Contains(raw, "*") {
+		return pattern{raw: raw, kind: patExact, lit: raw}
+	}
+	parts := strings.Split(raw, "*")
+	switch {
+	case len(parts) == 2 && parts[0] == "":
+		return pattern{raw: raw, kind: patSuffix, lit: parts[1]}
+	case len(parts) == 2 && parts[1] == "":
+		return pattern{raw: raw, kind: patPrefix, lit: parts[0]}
+	case len(parts) == 3 && parts[0] == "" && parts[2] == "" && parts[1] != "":
+		return pattern{raw: raw, kind: patContains, lit: parts[1]}
+	}
+	return pattern{raw: raw, kind: patGeneral, parts: parts}
+}
+
+// literal returns the exact string the pattern requires, if it is
+// wildcard-free (the indexable case).
+func (p pattern) literal() (string, bool) {
+	if p.kind == patExact && p.raw != "" {
+		return p.lit, true
+	}
+	return "", false
+}
+
+// match reports whether s matches the compiled pattern.
+func (p pattern) match(s string) bool {
+	switch p.kind {
+	case patAny:
 		return true
+	case patExact:
+		return s == p.lit
+	case patPrefix:
+		return strings.HasPrefix(s, p.lit)
+	case patSuffix:
+		return strings.HasSuffix(s, p.lit)
+	case patContains:
+		return strings.Contains(s, p.lit)
 	}
-	parts := strings.Split(pattern, "*")
-	if len(parts) == 1 {
-		return pattern == s
-	}
-	// Anchor first and last fragments; middle fragments float in order.
+	// General shape: anchor first and last fragments; middle fragments
+	// float in order.
+	parts := p.parts
 	if !strings.HasPrefix(s, parts[0]) {
 		return false
 	}

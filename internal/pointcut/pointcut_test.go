@@ -256,16 +256,139 @@ func TestLiteralMatchProperty(t *testing.T) {
 	}
 }
 
-// Property: wildcardMatch("*"+s+"*", x) is true iff x contains s.
+// Property: the compiled pattern "*"+s+"*" matches x iff x contains s.
 func TestWildcardContainsProperty(t *testing.T) {
 	f := func(s, x string) bool {
 		if strings.Contains(s, "*") || strings.Contains(x, "*") {
 			return true // skip degenerate inputs
 		}
-		return wildcardMatch("*"+s+"*", x) == strings.Contains(x, s)
+		return compilePattern("*"+s+"*").match(x) == strings.Contains(x, s)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCompilePatternShapes(t *testing.T) {
+	cases := []struct {
+		raw  string
+		kind patKind
+		yes  []string
+		no   []string
+	}{
+		{"dgefa", patExact, []string{"dgefa"}, []string{"dgefaX", "Xdgefa", ""}},
+		{"*", patAny, []string{"", "anything"}, nil},
+		{"relax*", patPrefix, []string{"relax", "relaxRed"}, []string{"elax", "Xrelax"}},
+		{"*Cols", patSuffix, []string{"Cols", "reduceAllCols"}, []string{"ColsX"}},
+		{"*All*", patContains, []string{"All", "reduceAllCols"}, []string{"al", ""}},
+		{"re*All*s", patGeneral, []string{"reduceAllCols", "reAlls"}, []string{"reduceAll", "xreAlls"}},
+		{"**", patGeneral, []string{"", "x"}, nil},
+	}
+	for _, c := range cases {
+		p := compilePattern(c.raw)
+		if p.kind != c.kind {
+			t.Errorf("compilePattern(%q).kind = %d, want %d", c.raw, p.kind, c.kind)
+		}
+		for _, s := range c.yes {
+			if !p.match(s) {
+				t.Errorf("pattern %q should match %q", c.raw, s)
+			}
+		}
+		for _, s := range c.no {
+			if p.match(s) {
+				t.Errorf("pattern %q should NOT match %q", c.raw, s)
+			}
+		}
+	}
+	if lit, ok := compilePattern("dgefa").literal(); !ok || lit != "dgefa" {
+		t.Error("exact pattern lost its literal")
+	}
+	if _, ok := compilePattern("d*").literal(); ok {
+		t.Error("wildcard pattern claims a literal")
+	}
+}
+
+func TestHints(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Hints
+	}{
+		{"call(int Linpack.dgefa(..))", Hints{Classes: []string{"Linpack"}}},
+		{"call(void reduceAllCols(..))", Hints{Methods: []string{"reduceAllCols"}}},
+		{"call(@Parallel * *(..))", Hints{Annotations: []string{"Parallel"}}},
+		{"annotation(@Critical)", Hints{Annotations: []string{"Critical"}}},
+		{"within(Linpack)", Hints{Classes: []string{"Linpack"}}},
+		{"within(Lin*)", Hints{All: true}},
+		{"call(* Particle+.force(..))", Hints{Methods: []string{"force"}}},
+		{"call(* *.*(..))", Hints{All: true}},
+		{"!within(MD)", Hints{All: true}},
+		{"call(* A.x(..)) || call(* B.y(..))", Hints{Classes: []string{"A", "B"}}},
+		{"call(* A.x(..)) || within(L*)", Hints{All: true}},
+		{"within(L*) && call(* *.dgefa(..))", Hints{Methods: []string{"dgefa"}}},
+		{"within(Linpack) && call(* *.dgefa(..))", Hints{Classes: []string{"Linpack"}}},
+	}
+	for _, c := range cases {
+		h := MustParse(c.src).Hints()
+		if h.All != c.want.All ||
+			strings.Join(h.Classes, ",") != strings.Join(c.want.Classes, ",") ||
+			strings.Join(h.Methods, ",") != strings.Join(c.want.Methods, ",") ||
+			strings.Join(h.Annotations, ",") != strings.Join(c.want.Annotations, ",") {
+			t.Errorf("Hints(%q) = %+v, want %+v", c.src, h, c.want)
+		}
+	}
+}
+
+// Property: Hints is a superset contract — any subject a pointcut matches
+// must fall in one of the hint buckets (or All must be set).
+func TestHintsSupersetProperty(t *testing.T) {
+	subjects := []fakeJP{dgefa, reduce, inter, dscal, forceLJ, forceEl, mdMove, annotAny}
+	exprs := []string{
+		"call(int Linpack.dgefa(..))",
+		"call(* Particle+.force(..))",
+		"call(@Parallel * *(..))",
+		"within(Linpack) && !call(* *.dgefa(..))",
+		"call(* MD.*(..)) || within(Linpack)",
+		"call(* *.re*All*(..))",
+		"annotation(@Parallel) || call(* *.domove(..))",
+	}
+	for _, src := range exprs {
+		pc := MustParse(src)
+		h := pc.Hints()
+		for _, s := range subjects {
+			if !pc.Matches(s) || h.All {
+				continue
+			}
+			covered := false
+			for _, c := range h.Classes {
+				if c == s.class {
+					covered = true
+				}
+			}
+			for _, m := range h.Methods {
+				if m == s.method {
+					covered = true
+				}
+			}
+			for _, a := range h.Annotations {
+				if s.HasAnnotation(a) {
+					covered = true
+				}
+			}
+			if !covered {
+				t.Errorf("%q matches %s.%s but hints %+v do not cover it", src, s.class, s.method, h)
+			}
+		}
+	}
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	deep := strings.Repeat("!", maxParseDepth+8) + "within(X)"
+	if _, err := Parse(deep); err == nil {
+		t.Error("deeply nested expression parsed, want depth error")
+	}
+	ok := strings.Repeat("(", 10) + "within(X)" + strings.Repeat(")", 10)
+	if _, err := Parse(ok); err != nil {
+		t.Errorf("moderately nested expression failed: %v", err)
 	}
 }
 

@@ -1,0 +1,24 @@
+package weaver
+
+import "sync/atomic"
+
+// gate is the per-(aspect, joinpoint) enable word. Enabled stages of a
+// woven chain check it inline — one atomic load and a predictable branch —
+// so disabling advice takes effect on the very next call, before any chain
+// re-swap. Gates are owned by the Program and persist across re-weaves:
+// a toggle survives Use/RemoveAspect/Weave cycles.
+type gate struct{ word atomic.Uint32 }
+
+// gateKey identifies a gate: one aspect applied to one joinpoint.
+type gateKey struct{ aspect, fqn string }
+
+func (g *gate) set(enabled bool) {
+	if enabled {
+		g.word.Store(1)
+	} else {
+		g.word.Store(0)
+	}
+}
+
+// on reports the gate state; the inline chain check is this load.
+func (g *gate) on() bool { return g.word.Load() != 0 }

@@ -3,7 +3,6 @@ package weaver
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 )
 
@@ -14,18 +13,70 @@ import (
 // the aspect modules — "sequential semantics and incremental development
 // are intrinsically supported since aspects can be (un)plugged to/from a
 // given base program at any time".
+//
+// Once Weave has run, the program stays woven incrementally: Use,
+// RemoveAspect, Annotate and late method registration rebuild only the
+// affected methods' chains (candidates found through the pointcut hint
+// index), each swapped atomically while calls are in flight.
 type Program struct {
 	name string
 
 	mu      sync.Mutex
 	classes map[string]*Class
 	methods []*Method
+
+	// Lookup indexes, maintained at registration/annotation time: byFQN
+	// serves Method/Annotate in O(1); the bucket maps serve the pointcut
+	// hint index (Hints → candidate methods) for incremental re-weaves.
+	byFQN   map[string]*Method
+	byClass map[string][]*Method
+	byName  map[string][]*Method
+	byAnno  map[string][]*Method
+
 	aspects []Aspect
+
+	// ungated disables per-advice gates (see Ungated); gates then remain
+	// empty and chains compose exactly as plain nested wrappers.
+	ungated bool
+	// gates holds the per-(aspect, fqn) enable words; aspectOff records
+	// aspect-wide defaults so gates created by later weaves inherit them.
+	gates     map[gateKey]*gate
+	aspectOff map[string]bool
+
+	// woven flips to true at the first Weave and back to false at Unweave;
+	// while true, registry mutations re-weave affected methods in place.
+	woven bool
+	// rebuilds counts chain compositions, pinning incrementality in tests.
+	rebuilds uint64
+}
+
+// ProgramOpt configures a Program at creation.
+type ProgramOpt func(*Program)
+
+// Ungated builds advice chains without per-advice enable gates: each stage
+// is the advice's Wrap output with no gate load in front. Such a program
+// cannot use SetAdviceEnabled; it exists as the ablation baseline for
+// measuring the gate's cost.
+func Ungated() ProgramOpt {
+	return func(p *Program) { p.ungated = true }
 }
 
 // NewProgram creates an empty program registry.
-func NewProgram(name string) *Program {
-	return &Program{name: name, classes: make(map[string]*Class)}
+func NewProgram(name string, opts ...ProgramOpt) *Program {
+	p := &Program{
+		name:      name,
+		classes:   make(map[string]*Class),
+		byFQN:     make(map[string]*Method),
+		byClass:   make(map[string][]*Method),
+		byName:    make(map[string][]*Method),
+		byAnno:    make(map[string][]*Method),
+		gates:     make(map[gateKey]*gate),
+		aspectOff: make(map[string]bool),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
 }
 
 // Name returns the program name.
@@ -66,33 +117,62 @@ func (p *Program) Class(name string, opts ...ClassOpt) *Class {
 	return c
 }
 
-func (c *Class) register(name string, kind Kind, body HandlerFunc) *Method {
+func (c *Class) register(name string, kind Kind, body HandlerFunc, rawBody any) *Method {
 	p := c.program
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, m := range p.methods {
-		if m.jp.class == c && m.jp.name == name {
-			panic(fmt.Sprintf("weaver: method %s.%s registered twice", c.name, name))
-		}
+	fqn := c.name + "." + name
+	if _, dup := p.byFQN[fqn]; dup {
+		panic(fmt.Sprintf("weaver: method %s registered twice", fqn))
 	}
-	m := &Method{jp: &Joinpoint{class: c, name: name, kind: kind}, body: body}
+	m := &Method{jp: &Joinpoint{class: c, name: name, kind: kind}, body: body, rawBody: rawBody}
 	m.reset()
 	p.methods = append(p.methods, m)
+	p.byFQN[fqn] = m
+	p.byClass[c.name] = append(p.byClass[c.name], m)
+	p.byName[name] = append(p.byName[name], m)
+	if p.woven {
+		// Late registration into a woven program: the new method joins the
+		// weave immediately, like a class loaded into a woven application.
+		if err := p.reweaveLocked(m); err != nil {
+			panic(fmt.Sprintf("weaver: weaving late-registered method %s: %v", fqn, err))
+		}
+	}
 	return m
 }
 
 // Annotate attaches annotations to the named method ("Class.method").
 // Like Java annotations these are inert metadata until an aspect —
 // typically the core package's annotation aspects (paper Fig. 5) —
-// translates them into advice at weave time.
+// translates them into advice at weave time. On a woven program the
+// method's chain is rebuilt immediately.
 func (p *Program) Annotate(fqn string, annotations ...Annotation) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	m := p.lookupLocked(fqn)
+	m := p.byFQN[fqn]
 	if m == nil {
 		return fmt.Errorf("weaver: Annotate: unknown method %q", fqn)
 	}
 	m.jp.annotations = append(m.jp.annotations, annotations...)
+	for _, a := range annotations {
+		n := a.AnnotationName()
+		bucket := p.byAnno[n]
+		present := false
+		for _, bm := range bucket {
+			if bm == m {
+				present = true
+				break
+			}
+		}
+		if !present {
+			p.byAnno[n] = append(bucket, m)
+		}
+	}
+	if p.woven {
+		if err := p.reweaveLocked(m); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -103,25 +183,11 @@ func (p *Program) MustAnnotate(fqn string, annotations ...Annotation) {
 	}
 }
 
-func (p *Program) lookupLocked(fqn string) *Method {
-	i := strings.LastIndexByte(fqn, '.')
-	if i < 0 {
-		return nil
-	}
-	cls, name := fqn[:i], fqn[i+1:]
-	for _, m := range p.methods {
-		if m.jp.class.name == cls && m.jp.name == name {
-			return m
-		}
-	}
-	return nil
-}
-
 // Method returns the registered method named "Class.method", or nil.
 func (p *Program) Method(fqn string) *Method {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.lookupLocked(fqn)
+	return p.byFQN[fqn]
 }
 
 // Joinpoints returns all registered joinpoints (weave tooling).
@@ -135,24 +201,106 @@ func (p *Program) Joinpoints() []*Joinpoint {
 	return out
 }
 
-// Use deploys aspect modules. The change takes effect at the next Weave.
-func (p *Program) Use(aspects ...Aspect) {
-	p.mu.Lock()
-	p.aspects = append(p.aspects, aspects...)
-	p.mu.Unlock()
+// candidatesLocked returns the methods an aspect's bindings could match,
+// found through the hint index. Matchers that cannot provide hints (or
+// whose hints say All) widen the candidate set to every method — hints are
+// a superset contract, so evaluating the real matcher on the candidates
+// never misses a joinpoint.
+func (p *Program) candidatesLocked(aspects []Aspect) []*Method {
+	seen := make(map[*Method]bool)
+	var out []*Method
+	add := func(ms []*Method) {
+		for _, m := range ms {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	for _, a := range aspects {
+		for _, b := range a.Bindings() {
+			h, ok := b.Matcher.(Hinter)
+			if !ok {
+				return append([]*Method(nil), p.methods...)
+			}
+			hints := h.Hints()
+			if hints.All {
+				return append([]*Method(nil), p.methods...)
+			}
+			if len(hints.Classes)+len(hints.Methods)+len(hints.Annotations) == 0 {
+				// An impossible match set; widen out of caution.
+				return append([]*Method(nil), p.methods...)
+			}
+			for _, cl := range hints.Classes {
+				add(p.byClass[cl])
+			}
+			for _, mn := range hints.Methods {
+				add(p.byName[mn])
+			}
+			for _, an := range hints.Annotations {
+				add(p.byAnno[an])
+			}
+		}
+	}
+	return out
 }
 
-// RemoveAspect undeploys all aspects with the given name.
+// Use deploys aspect modules. On an unwoven program the change takes
+// effect at the next Weave; on a woven program only the methods the new
+// aspects' pointcuts can select (per the hint index) are re-woven, each
+// chain swapped atomically. A validation failure during an incremental
+// deploy panics — the program would otherwise be left half-deployed with
+// no error path to the caller.
+func (p *Program) Use(aspects ...Aspect) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.aspects = append(p.aspects, aspects...)
+	if !p.woven {
+		return
+	}
+	for _, m := range p.candidatesLocked(aspects) {
+		if err := p.reweaveLocked(m); err != nil {
+			panic(fmt.Sprintf("weaver: incremental Use: %v", err))
+		}
+	}
+}
+
+// RemoveAspect undeploys all aspects with the given name. On a woven
+// program only the methods whose current chain contains the aspect's
+// advice are re-woven.
 func (p *Program) RemoveAspect(name string) {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	kept := p.aspects[:0]
+	removed := false
 	for _, a := range p.aspects {
 		if a.AspectName() != name {
 			kept = append(kept, a)
+		} else {
+			removed = true
 		}
 	}
 	p.aspects = kept
-	p.mu.Unlock()
+	if !p.woven || !removed {
+		return
+	}
+	for _, m := range p.methods {
+		if !chainHasAspect(m.current.Load(), name) {
+			continue
+		}
+		if err := p.reweaveLocked(m); err != nil {
+			panic(fmt.Sprintf("weaver: incremental RemoveAspect: %v", err))
+		}
+	}
+}
+
+func chainHasAspect(ch *chain, name string) bool {
+	for _, ad := range ch.applied {
+		if ad.aspect == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Aspects returns the names of deployed aspects in deployment order.
@@ -166,41 +314,112 @@ func (p *Program) Aspects() []string {
 	return names
 }
 
+// gateLocked returns the persistent gate for one aspect on one joinpoint,
+// creating it enabled (or disabled, if the aspect was toggled off
+// aspect-wide) on first use.
+func (p *Program) gateLocked(aspect, fqn string) *gate {
+	k := gateKey{aspect: aspect, fqn: fqn}
+	g, ok := p.gates[k]
+	if !ok {
+		g = &gate{}
+		g.set(!p.aspectOff[aspect])
+		p.gates[k] = g
+	}
+	return g
+}
+
+// matchLocked evaluates every deployed aspect against one method and
+// returns the matching advice, outermost (highest precedence) first.
+func (p *Program) matchLocked(m *Method) ([]appliedAdvice, error) {
+	var applied []appliedAdvice
+	for _, a := range p.aspects {
+		for _, b := range a.Bindings() {
+			if !b.Matcher.Matches(m.jp) {
+				continue
+			}
+			if v, ok := b.Advice.(Validator); ok {
+				if err := v.ValidateJP(m.jp); err != nil {
+					return nil, fmt.Errorf("weaver: aspect %q: %w", a.AspectName(), err)
+				}
+			}
+			ad := appliedAdvice{
+				aspect:   a.AspectName(),
+				advice:   b.Advice,
+				pointcut: b.Matcher.String(),
+			}
+			if !p.ungated {
+				ad.gate = p.gateLocked(a.AspectName(), m.jp.FQN())
+			}
+			applied = append(applied, ad)
+		}
+	}
+	// Stable sort: outermost (highest precedence) first.
+	sort.SliceStable(applied, func(i, j int) bool {
+		return applied[i].advice.Precedence() > applied[j].advice.Precedence()
+	})
+	return applied, nil
+}
+
+// composeChain builds the woven pipeline for m. Gated stages check their
+// enable word inline (one atomic load + branch) and fall through to the
+// next stage when off; stages whose gate is already off at composition
+// time are collapsed out entirely, so a fully disabled chain is the bare
+// body handler and needsWorker false.
+func composeChain(m *Method, applied []appliedAdvice) *chain {
+	h := m.body
+	needsWorker := false
+	for i := len(applied) - 1; i >= 0; i-- { // wrap innermost-first
+		ad := applied[i]
+		if ad.gate == nil {
+			h = ad.advice.Wrap(m.jp, h)
+			needsWorker = needsWorker || ad.advice.NeedsWorker()
+			continue
+		}
+		if !ad.gate.on() {
+			continue
+		}
+		inner := h
+		wrapped := ad.advice.Wrap(m.jp, inner)
+		g := ad.gate
+		h = func(c *Call) {
+			if !g.on() {
+				inner(c)
+				return
+			}
+			wrapped(c)
+		}
+		needsWorker = needsWorker || ad.advice.NeedsWorker()
+	}
+	return &chain{handler: h, needsWorker: needsWorker, applied: applied}
+}
+
+// reweaveLocked rebuilds one method's chain from the deployed aspects and
+// swaps it in atomically.
+func (p *Program) reweaveLocked(m *Method) error {
+	applied, err := p.matchLocked(m)
+	if err != nil {
+		return err
+	}
+	m.current.Store(composeChain(m, applied))
+	p.rebuilds++
+	return nil
+}
+
 // Weave (re)builds every method's advice chain from the deployed aspects.
 // Matching advice is ordered by precedence (higher wraps further out;
 // ties keep deployment order) and composed around the original body. The
 // swap is atomic per method, so in-flight calls complete on the chain they
-// started with.
+// started with. After the first Weave the program stays woven: later
+// Use/RemoveAspect/Annotate calls re-weave incrementally.
 func (p *Program) Weave() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, m := range p.methods {
-		var applied []appliedAdvice
-		for _, a := range p.aspects {
-			for _, b := range a.Bindings() {
-				if !b.Matcher.Matches(m.jp) {
-					continue
-				}
-				if v, ok := b.Advice.(Validator); ok {
-					if err := v.ValidateJP(m.jp); err != nil {
-						return fmt.Errorf("weaver: aspect %q: %w", a.AspectName(), err)
-					}
-				}
-				applied = append(applied, appliedAdvice{aspect: a.AspectName(), advice: b.Advice})
-			}
+		if err := p.reweaveLocked(m); err != nil {
+			return err
 		}
-		// Stable sort: outermost (highest precedence) first.
-		sort.SliceStable(applied, func(i, j int) bool {
-			return applied[i].advice.Precedence() > applied[j].advice.Precedence()
-		})
-		h := m.body
-		needsWorker := false
-		for i := len(applied) - 1; i >= 0; i-- { // wrap innermost-first
-			h = applied[i].advice.Wrap(m.jp, h)
-			needsWorker = needsWorker || applied[i].advice.NeedsWorker()
-		}
-		m.current.Store(&chain{handler: h, needsWorker: needsWorker, applied: applied})
 	}
+	p.woven = true
 	return nil
 }
 
@@ -212,13 +431,93 @@ func (p *Program) MustWeave() {
 }
 
 // Unweave restores every method to its unadvised body: the program runs
-// with its original sequential semantics.
+// with its original sequential semantics, and incremental re-weaving stops
+// until the next Weave.
 func (p *Program) Unweave() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, m := range p.methods {
 		m.reset()
 	}
+	p.woven = false
+}
+
+// SetAdviceEnabled toggles the named aspect's advice without re-weaving
+// the program. With no fqns the toggle is aspect-wide (and sticks as the
+// default for methods woven later); otherwise it applies to the named
+// "Class.method" joinpoints, which must currently carry the aspect's
+// advice. Disabling is effective on the next call through each chain —
+// the gate word is flipped first — after which affected chains are
+// re-swapped so disabled stages collapse to a direct next-stage call;
+// enabling takes effect at that re-swap. Returns an error on ungated
+// programs, unknown methods, or methods the aspect is not applied to.
+func (p *Program) SetAdviceEnabled(aspect string, enabled bool, fqns ...string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ungated {
+		return fmt.Errorf("weaver: program %q is ungated; SetAdviceEnabled unavailable", p.name)
+	}
+	var affected []*Method
+	if len(fqns) == 0 {
+		p.aspectOff[aspect] = !enabled
+		for k, g := range p.gates {
+			if k.aspect == aspect {
+				g.set(enabled)
+			}
+		}
+		for _, m := range p.methods {
+			if chainHasAspect(m.current.Load(), aspect) {
+				affected = append(affected, m)
+			}
+		}
+	} else {
+		// Validate every fqn before flipping any gate, so an error leaves
+		// all gates untouched.
+		for _, fqn := range fqns {
+			m := p.byFQN[fqn]
+			if m == nil {
+				return fmt.Errorf("weaver: SetAdviceEnabled: unknown method %q", fqn)
+			}
+			if !chainHasAspect(m.current.Load(), aspect) {
+				return fmt.Errorf("weaver: SetAdviceEnabled: aspect %q not applied to %q", aspect, fqn)
+			}
+			affected = append(affected, m)
+		}
+		for _, m := range affected {
+			p.gateLocked(aspect, m.jp.FQN()).set(enabled)
+		}
+	}
+	for _, m := range affected {
+		if err := p.reweaveLocked(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AdviceEnabled reports the gate state of one aspect on one joinpoint.
+// Ungated programs always report true; so do (aspect, method) pairs never
+// toggled, since gates default to enabled.
+func (p *Program) AdviceEnabled(aspect, fqn string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ungated {
+		return true
+	}
+	if g, ok := p.gates[gateKey{aspect: aspect, fqn: fqn}]; ok {
+		return g.on()
+	}
+	return !p.aspectOff[aspect]
+}
+
+// ChainRebuilds returns the number of chain compositions performed since
+// the program was created — the observable cost of (re)weaving. Tests pin
+// incrementality with it: deploying one narrow aspect must bump the count
+// by the number of matched methods, not by the registry size.
+func (p *Program) ChainRebuilds() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rebuilds
 }
 
 // WovenMethod describes one method's weave state for reports.
@@ -228,6 +527,24 @@ type WovenMethod struct {
 	Annotations []string
 	// Advice lists applied advice outermost-first as "aspect/advice".
 	Advice []string
+	// Details carries per-advice metadata parallel to Advice.
+	Details []AdviceInfo
+}
+
+// AdviceInfo is the per-advice detail in a weave report: which aspect
+// applied which advice, through which pointcut, and whether its gate is
+// currently enabled.
+type AdviceInfo struct {
+	// Aspect is the deploying aspect's name.
+	Aspect string
+	// Advice is the advice name (e.g. "parallel", "for(runtime)").
+	Advice string
+	// Pointcut is the source form of the matcher that selected the
+	// joinpoint.
+	Pointcut string
+	// Enabled is the advice gate's current state (always true on ungated
+	// programs).
+	Enabled bool
 }
 
 // Report returns the weave state of every method, sorted by FQN — the
@@ -244,6 +561,12 @@ func (p *Program) Report() []WovenMethod {
 		}
 		for _, ap := range m.current.Load().applied {
 			wm.Advice = append(wm.Advice, ap.aspect+"/"+ap.advice.AdviceName())
+			wm.Details = append(wm.Details, AdviceInfo{
+				Aspect:   ap.aspect,
+				Advice:   ap.advice.AdviceName(),
+				Pointcut: ap.pointcut,
+				Enabled:  ap.gate == nil || ap.gate.on(),
+			})
 		}
 		out = append(out, wm)
 	}
